@@ -1,0 +1,510 @@
+//! Static bounds checking and assertion checking (paper §3.1, §4.2).
+//!
+//! Dependent array types plus the quasi-affine restriction let Exo prove
+//! every access in-bounds at scheduling time, giving memory safety with
+//! no dynamic checks. Assertion checking verifies that each call site
+//! establishes the callee's preconditions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use exo_core::ir::{ArgType, Block, Expr, Proc, Stmt, WAccess};
+use exo_core::Sym;
+use exo_smt::formula::Formula;
+use exo_smt::solver::Answer;
+
+use crate::effexpr::{EffExpr, LowerCtx};
+use crate::globals::{lift_in_env, val_g_block, GlobalEnv, GlobalReg};
+
+/// A bounds or assertion violation (or a solver give-up, which is
+/// reported as a failure — the checks fail safe).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CheckError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+struct Checker<'a> {
+    reg: &'a mut GlobalReg,
+    solver: &'a mut exo_smt::Solver,
+    /// shape (as effect expressions) per data symbol
+    shapes: HashMap<Sym, Vec<EffExpr>>,
+    /// path condition: binder bounds, guards, preconditions
+    assumptions: Vec<EffExpr>,
+    genv: GlobalEnv,
+    errors: Vec<CheckError>,
+}
+
+impl<'a> Checker<'a> {
+    fn assume_formula(&mut self, ctx: &mut LowerCtx) -> Formula {
+        let mut parts = Vec::new();
+        for a in &self.assumptions {
+            parts.push(ctx.lower_bool(a).maybe());
+        }
+        Formula::and(parts)
+    }
+
+    fn require(&mut self, goal: EffExpr, what: impl Fn() -> String) {
+        let mut ctx = LowerCtx::new();
+        let hyp = self.assume_formula(&mut ctx);
+        let g = ctx.lower_bool(&goal).definitely();
+        let query = Formula::and(vec![hyp, ctx.assumptions()]).implies(g);
+        match self.solver.check_valid(&query) {
+            Answer::Yes => {}
+            Answer::No => self.errors.push(CheckError { message: what() }),
+            Answer::Unknown => self.errors.push(CheckError {
+                message: format!("{} (solver gave up; failing safe)", what()),
+            }),
+        }
+    }
+
+    fn lift(&mut self, e: &Expr) -> EffExpr {
+        lift_in_env(e, &self.genv, self.reg)
+    }
+
+    fn check_access(&mut self, buf: Sym, idx: &[Expr], what: &str) {
+        let Some(shape) = self.shapes.get(&buf).cloned() else {
+            // windows are checked at definition; accesses through them are
+            // within the window's shape which we also track
+            return;
+        };
+        if idx.is_empty() {
+            return;
+        }
+        if idx.len() != shape.len() {
+            self.errors.push(CheckError {
+                message: format!(
+                    "{what} of {buf}: {} indices for rank {}",
+                    idx.len(),
+                    shape.len()
+                ),
+            });
+            return;
+        }
+        for (d, (i, n)) in idx.iter().zip(&shape).enumerate() {
+            let ie = self.lift(i);
+            let goal = EffExpr::Int(0).le(ie.clone()).and(ie.lt(n.clone()));
+            self.require(goal, || {
+                format!(
+                    "{what} of {buf} may be out of bounds in dimension {d}: \
+                     index {}",
+                    exo_core::printer::expr_to_string(i)
+                )
+            });
+        }
+    }
+
+    fn check_block(&mut self, block: &Block) {
+        let mut added: Vec<Sym> = Vec::new();
+        for s in block {
+            match s {
+                Stmt::Assign { buf, idx, rhs } | Stmt::Reduce { buf, idx, rhs } => {
+                    self.check_access(*buf, idx, "store");
+                    self.check_expr(rhs);
+                }
+                Stmt::WriteConfig { config, field, rhs } => {
+                    self.check_expr(rhs);
+                    let v = self.lift(rhs);
+                    self.genv.set(*config, *field, v);
+                }
+                Stmt::Pass => {}
+                Stmt::If { cond, body, orelse } => {
+                    self.check_expr(cond);
+                    let c = self.lift(cond);
+                    let saved_genv = self.genv.clone();
+                    self.assumptions.push(c.clone());
+                    self.check_block(body);
+                    self.assumptions.pop();
+                    self.genv = saved_genv.clone();
+                    self.assumptions.push(EffExpr::Not(Box::new(c)));
+                    self.check_block(orelse);
+                    self.assumptions.pop();
+                    // conservative join
+                    self.genv = saved_genv;
+                    let after = val_g_block(
+                        std::slice::from_ref(s),
+                        self.genv.clone(),
+                        self.reg,
+                    );
+                    self.genv = after;
+                }
+                Stmt::For { iter, lo, hi, body } => {
+                    self.check_expr(lo);
+                    self.check_expr(hi);
+                    let lo_e = self.lift(lo);
+                    let hi_e = self.lift(hi);
+                    let saved_genv = self.genv.clone();
+                    self.assumptions
+                        .push(crate::conditions::bd(*iter, &lo_e, &hi_e));
+                    // inside the body, config state may have been changed
+                    // by earlier iterations
+                    self.genv = loop_open_env(saved_genv.clone(), body, *iter, self.reg);
+                    self.check_block(body);
+                    self.assumptions.pop();
+                    self.genv = val_g_block(
+                        std::slice::from_ref(s),
+                        saved_genv,
+                        self.reg,
+                    );
+                }
+                Stmt::Alloc { name, shape, .. } => {
+                    let se: Vec<EffExpr> = shape.iter().map(|e| self.lift(e)).collect();
+                    for (d, n) in se.iter().enumerate() {
+                        self.require(EffExpr::Int(1).le(n.clone()), || {
+                            format!("allocation {name} may have non-positive extent in dim {d}")
+                        });
+                    }
+                    self.shapes.insert(*name, se);
+                    added.push(*name);
+                }
+                Stmt::WindowDef { name, rhs } => {
+                    if let Expr::Window { buf, coords } = rhs {
+                        let wshape = self.check_window(*buf, coords);
+                        self.shapes.insert(*name, wshape);
+                        added.push(*name);
+                    }
+                }
+                Stmt::Call { proc, args } => self.check_call(proc, args),
+            }
+        }
+        for s in added {
+            self.shapes.remove(&s);
+        }
+    }
+
+    fn check_window(&mut self, buf: Sym, coords: &[WAccess]) -> Vec<EffExpr> {
+        let Some(shape) = self.shapes.get(&buf).cloned() else {
+            return coords
+                .iter()
+                .filter(|c| c.is_interval())
+                .map(|_| EffExpr::Unknown)
+                .collect();
+        };
+        let mut out = Vec::new();
+        for (d, (c, n)) in coords.iter().zip(&shape).enumerate() {
+            match c {
+                WAccess::Point(p) => {
+                    let pe = self.lift(p);
+                    self.require(
+                        EffExpr::Int(0).le(pe.clone()).and(pe.lt(n.clone())),
+                        || format!("window point access of {buf} out of bounds in dim {d}"),
+                    );
+                }
+                WAccess::Interval(lo, hi) => {
+                    let lo_e = self.lift(lo);
+                    let hi_e = self.lift(hi);
+                    self.require(
+                        EffExpr::Int(0)
+                            .le(lo_e.clone())
+                            .and(lo_e.clone().le(hi_e.clone()))
+                            .and(hi_e.clone().le(n.clone())),
+                        || format!("window interval of {buf} out of bounds in dim {d}"),
+                    );
+                    out.push(EffExpr::bin(
+                        exo_core::BinOp::Sub,
+                        hi_e,
+                        lo_e,
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    fn check_call(&mut self, proc: &Proc, args: &[Expr]) {
+        // check argument expressions and collect the control substitution
+        let mut subst: HashMap<Sym, EffExpr> = HashMap::new();
+        for (formal, actual) in proc.args.iter().zip(args) {
+            match &formal.ty {
+                ArgType::Ctrl(_) => {
+                    self.check_expr(actual);
+                    subst.insert(formal.name, self.lift(actual));
+                }
+                ArgType::Scalar { .. } => {}
+                ArgType::Tensor { .. } => {
+                    if let Expr::Window { buf, coords } = actual {
+                        self.check_window(*buf, coords);
+                    }
+                }
+            }
+        }
+        // assertion checking: the callee's preconditions must hold here
+        for pred in &proc.preds {
+            let lifted = lift_in_env(pred, &GlobalEnv::identity(), self.reg).subst(&subst);
+            // substitute caller-side global values for the callee's view of
+            // entry globals
+            self.require(lifted, || {
+                format!(
+                    "call to {} may violate its precondition: {}",
+                    proc.name,
+                    exo_core::printer::expr_to_string(pred)
+                )
+            });
+        }
+        // recursively checking the callee body happens when the callee is
+        // itself checked; call-site duty is only the preconditions
+    }
+
+    fn check_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Read { buf, idx } => {
+                self.check_access(*buf, idx, "read");
+                idx.iter().for_each(|i| self.check_expr(i));
+            }
+            Expr::BinOp(_, a, b) => {
+                self.check_expr(a);
+                self.check_expr(b);
+            }
+            Expr::Neg(a) => self.check_expr(a),
+            Expr::Window { buf, coords } => {
+                self.check_window(*buf, coords);
+            }
+            Expr::BuiltIn { args, .. } => args.iter().for_each(|a| self.check_expr(a)),
+            _ => {}
+        }
+    }
+}
+
+fn loop_open_env(
+    entry: GlobalEnv,
+    body: &Block,
+    iter: Sym,
+    reg: &mut GlobalReg,
+) -> GlobalEnv {
+    let after = val_g_block(body, entry.clone(), reg);
+    let mut out = entry.clone();
+    let keys: Vec<(Sym, Sym)> = after.touched().copied().collect();
+    for (c, f) in keys {
+        let va = entry.value(c, f, reg);
+        let vb = after.value(c, f, reg);
+        let mut fv = std::collections::BTreeSet::new();
+        vb.free_vars(&mut fv);
+        if va == vb && !fv.contains(&iter) {
+            continue;
+        }
+        out.set(c, f, EffExpr::Unknown);
+    }
+    out
+}
+
+/// Statically checks every buffer access, window, allocation extent, and
+/// call-site precondition in `proc`.
+///
+/// # Errors
+///
+/// Returns all violations found (including solver give-ups, which fail
+/// safe).
+pub fn check_bounds(
+    proc: &Proc,
+    reg: &mut GlobalReg,
+    solver: &mut exo_smt::Solver,
+) -> Result<(), Vec<CheckError>> {
+    let mut shapes = HashMap::new();
+    let mut assumptions = Vec::new();
+    for arg in &proc.args {
+        match &arg.ty {
+            ArgType::Tensor { shape, .. } => {
+                let se: Vec<EffExpr> = shape
+                    .iter()
+                    .map(|e| lift_in_env(e, &GlobalEnv::identity(), reg))
+                    .collect();
+                shapes.insert(arg.name, se);
+            }
+            ArgType::Scalar { .. } => {
+                shapes.insert(arg.name, vec![]);
+            }
+            ArgType::Ctrl(exo_core::CtrlType::Size) => {
+                assumptions.push(EffExpr::Int(1).le(EffExpr::Var(arg.name)));
+            }
+            ArgType::Ctrl(_) => {}
+        }
+    }
+    for p in &proc.preds {
+        assumptions.push(lift_in_env(p, &GlobalEnv::identity(), reg));
+    }
+    let mut checker = Checker {
+        reg,
+        solver,
+        shapes,
+        assumptions,
+        genv: GlobalEnv::identity(),
+        errors: Vec::new(),
+    };
+    checker.check_block(&proc.body);
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(checker.errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_core::build::{read, ProcBuilder};
+    use exo_core::types::DataType;
+
+    fn run(p: &Proc) -> Result<(), Vec<CheckError>> {
+        let mut reg = GlobalReg::new();
+        let mut solver = exo_smt::Solver::new();
+        check_bounds(p, &mut reg, &mut solver)
+    }
+
+    #[test]
+    fn in_bounds_loop_accepted() {
+        let mut b = ProcBuilder::new("p");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::var(n));
+        b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_for();
+        assert!(run(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn off_by_one_rejected() {
+        let mut b = ProcBuilder::new("p");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::var(n));
+        b.assign(a, vec![Expr::var(i).add(Expr::int(1))], Expr::float(0.0));
+        b.end_for();
+        let errs = run(&b.finish()).unwrap_err();
+        assert!(errs[0].message.contains("out of bounds"), "{:?}", errs);
+    }
+
+    #[test]
+    fn guard_makes_access_safe() {
+        // for i in 0..n+1: if i < n: A[i] = 0 — safe thanks to the guard
+        let mut b = ProcBuilder::new("p");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::var(n).add(Expr::int(1)));
+        b.begin_if(Expr::var(i).lt(Expr::var(n)));
+        b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_if();
+        b.end_for();
+        assert!(run(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn tiled_access_with_divisibility_pred() {
+        // assert n % 16 == 0; for io in 0..n/16: for ii in 0..16:
+        //   A[16·io + ii] — in bounds only thanks to the assertion
+        let build = |with_pred: bool| {
+            let mut b = ProcBuilder::new("p");
+            let n = b.size("n");
+            if with_pred {
+                b.assert_pred(Expr::var(n).rem(Expr::int(16)).eq(Expr::int(0)));
+            }
+            let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+            let io = b.begin_for("io", Expr::int(0), Expr::var(n).div(Expr::int(16)));
+            let ii = b.begin_for("ii", Expr::int(0), Expr::int(16));
+            b.assign(
+                a,
+                vec![Expr::var(io).mul(Expr::int(16)).add(Expr::var(ii))],
+                Expr::float(0.0),
+            );
+            b.end_for().end_for();
+            b.finish()
+        };
+        assert!(run(&build(true)).is_ok());
+        // without the divisibility assertion … it is still fine!
+        // (16·(n/16) ≤ n holds by flooring); tighten: use n/16 + 1 tiles
+        let mut b = ProcBuilder::new("p2");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let io = b.begin_for(
+            "io",
+            Expr::int(0),
+            Expr::var(n).div(Expr::int(16)).add(Expr::int(1)),
+        );
+        let ii = b.begin_for("ii", Expr::int(0), Expr::int(16));
+        b.assign(
+            a,
+            vec![Expr::var(io).mul(Expr::int(16)).add(Expr::var(ii))],
+            Expr::float(0.0),
+        );
+        b.end_for().end_for();
+        assert!(run(&b.finish()).is_err());
+    }
+
+    #[test]
+    fn window_definition_checked() {
+        let mut b = ProcBuilder::new("p");
+        let a = b.tensor("A", DataType::F32, vec![Expr::int(8)]);
+        // x = A[4:12] — out of bounds
+        let _x = b.window("x", a, vec![WAccess::Interval(Expr::int(4), Expr::int(12))]);
+        b.stmt(Stmt::Pass);
+        let errs = run(&b.finish()).unwrap_err();
+        assert!(errs[0].message.contains("window interval"), "{:?}", errs);
+    }
+
+    #[test]
+    fn access_through_window_uses_window_shape() {
+        let mut b = ProcBuilder::new("p");
+        let a = b.tensor("A", DataType::F32, vec![Expr::int(8)]);
+        let x = b.window("x", a, vec![WAccess::Interval(Expr::int(2), Expr::int(6))]);
+        // x has extent 4: x[3] fine, x[4] not
+        b.assign(x, vec![Expr::int(3)], Expr::float(0.0));
+        assert!(run(&b.finish()).is_ok());
+
+        let mut b2 = ProcBuilder::new("p2");
+        let a2 = b2.tensor("A", DataType::F32, vec![Expr::int(8)]);
+        let x2 = b2.window("x", a2, vec![WAccess::Interval(Expr::int(2), Expr::int(6))]);
+        b2.assign(x2, vec![Expr::int(4)], Expr::float(0.0));
+        assert!(run(&b2.finish()).is_err());
+    }
+
+    #[test]
+    fn callee_precondition_enforced() {
+        // callee asserts m ≤ 16 (the paper's ld_data)
+        let mut cb = ProcBuilder::new("ld_data");
+        let m = cb.size("m");
+        cb.assert_pred(Expr::var(m).le(Expr::int(16)));
+        cb.stmt(Stmt::Pass);
+        let callee = cb.finish();
+
+        let mut ok = ProcBuilder::new("ok");
+        ok.call(&callee, vec![Expr::int(8)]);
+        assert!(run(&ok.finish()).is_ok());
+
+        let mut bad = ProcBuilder::new("bad");
+        bad.call(&callee, vec![Expr::int(32)]);
+        let errs = run(&bad.finish()).unwrap_err();
+        assert!(errs[0].message.contains("precondition"), "{:?}", errs);
+    }
+
+    #[test]
+    fn caller_pred_discharges_callee_pred() {
+        let mut cb = ProcBuilder::new("callee");
+        let m = cb.size("m");
+        cb.assert_pred(Expr::var(m).le(Expr::int(16)));
+        cb.stmt(Stmt::Pass);
+        let callee = cb.finish();
+
+        let mut b = ProcBuilder::new("caller");
+        let n = b.size("n");
+        b.assert_pred(Expr::var(n).le(Expr::int(8)));
+        b.call(&callee, vec![Expr::var(n)]);
+        assert!(run(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn read_of_data_expr_checked() {
+        let mut b = ProcBuilder::new("p");
+        let a = b.tensor("A", DataType::F32, vec![Expr::int(4)]);
+        let c = b.tensor("C", DataType::F32, vec![Expr::int(4)]);
+        b.assign(c, vec![Expr::int(0)], read(a, vec![Expr::int(9)]));
+        let errs = run(&b.finish()).unwrap_err();
+        assert!(errs[0].message.contains("read"), "{:?}", errs);
+    }
+}

@@ -1,0 +1,39 @@
+//! # exo-analysis
+//!
+//! The effect analyses that make exo-rs scheduling *safe* (paper §5–6).
+//!
+//! Scheduling operators are rewrites; each must preserve program
+//! equivalence (possibly modulo configuration state). This crate provides
+//! the machinery those checks are built from:
+//!
+//! * [`effexpr`] — effect expressions (symbolic control values with ⊥)
+//!   and their lowering to classical formulas per appendix B;
+//! * [`globals`] — canonical names for configuration fields and the
+//!   approximating symbolic dataflow `ValG` (§5.3);
+//! * [`effects`] — effect extraction `Eff : Stmt → Effect` (§5.5), with
+//!   windows resolved to root buffers and call-site splicing;
+//! * [`locset`] — location sets with ternary membership and the
+//!   definitely/maybe collapses (§5.4);
+//! * [`conditions`] — `Commutes`, `Shadows`, and the loop-rewrite
+//!   conditions (§5.7–5.8);
+//! * [`context`] — one-holed-context quantities `CtrlPred` / `PreValG` /
+//!   `PostEff` and the context-extension rule (§6);
+//! * [`bounds`] — static bounds checking and call-site assertion
+//!   checking.
+//!
+//! All conditions bottom out in Presburger validity queries discharged by
+//! [`exo_smt::Solver`]; an `Unknown` answer always fails safe.
+
+pub mod bounds;
+pub mod conditions;
+pub mod context;
+pub mod effects;
+pub mod effexpr;
+pub mod globals;
+pub mod locset;
+
+pub use bounds::{check_bounds, CheckError};
+pub use effects::{effect_of_block, effect_of_proc, Effect, ExtractCtx};
+pub use effexpr::{EffExpr, LowerCtx};
+pub use globals::{GlobalEnv, GlobalReg};
+pub use locset::{LocSet, SetBundle};

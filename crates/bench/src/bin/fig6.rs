@@ -1,0 +1,36 @@
+//! Reproduces paper Fig. 6: x86 CONV performance (batch 5, 3×3 kernel,
+//! 80×100 output, 128 in/out channels, fused ReLU) — Exo vs Halide-like
+//! vs oneDNN-like, all expected within ~1 point of each other.
+//!
+//! The Exo column's instruction counts are cross-checked against the
+//! actual scheduled procedure before the model is evaluated.
+
+use exo_bench::fresh_state;
+use exo_hwlibs::Avx512Lib;
+use exo_kernels::x86_conv::{fig6_shape, schedule_conv_avx512, ConvStrategy};
+use x86_sim::CoreModel;
+
+fn main() {
+    let core = CoreModel::tiger_lake();
+    let s = fig6_shape();
+
+    // self-check: the analytic profile equals the scheduled IR's profile
+    eprintln!("scheduling the Fig. 6 conv (self-check) …");
+    let lib = Avx512Lib::new();
+    let st = fresh_state();
+    let p = schedule_conv_avx512(&lib, &st, &s, 4).expect("schedule");
+    let ir = x86_sim::profile_proc(p.proc()).expect("constant bounds");
+    let model = ConvStrategy::exo().profile(&s);
+    assert_eq!(ir.fmas, model.fmas, "model/IR FMA mismatch");
+    eprintln!("self-check ok: {} FMAs, {} directives", ir.fmas, p.directives());
+
+    println!("== Fig. 6 — x86 CONV, % of peak (N=5 W=82 H=102 IC=OC=128, 3x3, ReLU) ==");
+    println!("{:<10} {:>10}", "Impl.", "% of peak");
+    for strat in [ConvStrategy::exo(), ConvStrategy::halide_like(), ConvStrategy::onednn_like()] {
+        println!("{:<10} {:>9.2}%", strat.name, strat.fraction_of_peak(&s, &core) * 100.0);
+    }
+    println!();
+    println!("paper reference: Exo 40.50%, Halide 40.59%, oneDNN 40.55% (all within 0.1 pt);");
+    println!("the cost model puts the absolute level higher (see EXPERIMENTS.md) but");
+    println!("preserves the claim under test: the three implementations are equivalent.");
+}

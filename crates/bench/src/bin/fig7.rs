@@ -1,0 +1,101 @@
+//! Reproduces paper Fig. 7: source-code sizes for the four case-study
+//! kernels — generated C lines, reference-library C lines (quoted from
+//! the paper; MKL/oneDNN/Gemmini-lib sources are not redistributable),
+//! algorithm lines, and scheduling directives.
+
+use exo_bench::fresh_state;
+use exo_codegen::compile_c;
+use exo_hwlibs::{Avx512Lib, GemminiLib};
+use exo_kernels::gemmini_conv::{naive_conv, schedule_conv, ConvShape};
+use exo_kernels::gemmini_gemm::{naive_matmul, schedule_matmul};
+use exo_kernels::x86_conv::{naive_conv_f32, schedule_conv_avx512};
+use exo_kernels::x86_gemm::{naive_sgemm, schedule_sgemm};
+
+fn loc(text: &str) -> usize {
+    text.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn main() {
+    let glib = GemminiLib::new();
+    let xlib = Avx512Lib::new();
+    let st = fresh_state();
+
+    println!("== Fig. 7 — source code sizes ==");
+    println!(
+        "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}",
+        "App.", "Platform", "C(gen)", "C(ref)", "Alg.", "Sched."
+    );
+
+    // MATMUL on Gemmini (paper row: 462 / 313 / 23 / 43)
+    {
+        eprintln!("fig7: gemmini matmul …");
+        let naive = naive_matmul(512, 512, 512);
+        let p = schedule_matmul(&glib, &st, 512, 512, 512).expect("schedule");
+        let c = compile_c(&[p.proc().clone()], &glib.codegen_ctx()).expect("codegen");
+        println!(
+            "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 462 / 313 / 23 / 43)",
+            "MATMUL",
+            "Gemmini",
+            loc(&c),
+            313,
+            loc(&exo_core::printer::proc_to_string(&naive)),
+            p.directives()
+        );
+    }
+
+    // CONV on Gemmini (paper row: 8317 / 450 / 26 / 44)
+    {
+        eprintln!("fig7: gemmini conv …");
+        let s = ConvShape::fig4b(28, 128, 128);
+        let naive = naive_conv(&s);
+        let p = schedule_conv(&glib, &st, &s).expect("schedule");
+        let c = compile_c(&[p.proc().clone()], &glib.codegen_ctx()).expect("codegen");
+        println!(
+            "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 8317 / 450 / 26 / 44)",
+            "CONV",
+            "Gemmini",
+            loc(&c),
+            450,
+            loc(&exo_core::printer::proc_to_string(&naive)),
+            p.directives()
+        );
+    }
+
+    // SGEMM on x86 (paper row: 846 / >1690 / 11 / 162)
+    {
+        eprintln!("fig7: x86 sgemm …");
+        let naive = naive_sgemm(384, 384, 384);
+        let p = schedule_sgemm(&xlib, &st, 384, 384, 384, 6, 64).expect("schedule");
+        let c = compile_c(&[p.proc().clone()], &xlib.codegen_ctx()).expect("codegen");
+        println!(
+            "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 846 / >1690 / 11 / 162)",
+            "SGEMM",
+            "x86",
+            loc(&c),
+            1690,
+            loc(&exo_core::printer::proc_to_string(&naive)),
+            p.directives()
+        );
+    }
+
+    // CONV on x86 (paper row: 102 / >5400 / 23 / 39)
+    {
+        eprintln!("fig7: x86 conv …");
+        let s = ConvShape { batch: 5, out_dim: 80, oc: 128, ic: 128, kdim: 3 };
+        let naive = naive_conv_f32(&s);
+        let p = schedule_conv_avx512(&xlib, &st, &s, 4).expect("schedule");
+        let c = compile_c(&[p.proc().clone()], &xlib.codegen_ctx()).expect("codegen");
+        println!(
+            "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 102 / >5400 / 23 / 39)",
+            "CONV",
+            "x86",
+            loc(&c),
+            5400,
+            loc(&exo_core::printer::proc_to_string(&naive)),
+            p.directives()
+        );
+    }
+
+    println!();
+    println!("C(ref) values are quoted from the paper (closed/unvendored sources).");
+}

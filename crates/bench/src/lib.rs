@@ -1,0 +1,175 @@
+//! # exo-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation (§7):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig4a` | Gemmini MATMUL utilization (Old-lib / Exo-lib / Hardware) |
+//! | `fig4b` | Gemmini CONV utilization |
+//! | `fig5a` | x86 SGEMM GFLOP/s on square sizes (Exo / MKL / OpenBLAS) |
+//! | `fig5b` | x86 SGEMM vs output aspect ratio |
+//! | `fig6`  | x86 CONV % of peak (Exo / Halide / oneDNN) |
+//! | `fig7`  | code-size table (C generated / C reference / alg / sched) |
+//! | `ablation_config` | §2.4: cost of fused vs hoisted configuration |
+//! | `ablation_overlap` | decoupled-queue overlap vs serialized issue |
+//! | `ablation_microkernel` | 6×64 vs alternative x86 microkernels |
+//!
+//! Each binary prints a table with the paper's reference values beside
+//! the reproduced ones. Absolute numbers come from simulators/cost
+//! models (see `DESIGN.md`); the claims under test are the *shapes*:
+//! who wins, by roughly what factor, and where crossovers fall.
+
+use std::sync::{Arc, Mutex};
+
+use exo_hwlibs::GemminiLib;
+use exo_interp::HwOp;
+use exo_kernels::gemmini_conv::{self, ConvShape};
+use exo_kernels::gemmini_gemm;
+use exo_sched::{SchedState, StateRef};
+use gemmini_sim::{SimConfig, Simulator};
+
+/// The twelve ResNet-50 (batch 4) GEMM shapes of Fig. 4a as `(N, M, K)`.
+pub fn fig4a_shapes() -> Vec<(i64, i64, i64)> {
+    vec![
+        (12544, 64, 64),
+        (12544, 64, 256),
+        (12544, 256, 64),
+        (3136, 128, 128),
+        (3136, 128, 512),
+        (3136, 512, 128),
+        (784, 256, 256),
+        (784, 256, 1024),
+        (784, 1024, 256),
+        (224, 512, 512),
+        (224, 512, 2048),
+        (224, 2048, 512),
+    ]
+}
+
+/// The three conv shapes of Fig. 4b (output dim × out channels × in
+/// channels, batch 4, 3×3).
+pub fn fig4b_shapes() -> Vec<ConvShape> {
+    vec![
+        ConvShape::fig4b(56, 64, 64),
+        ConvShape::fig4b(28, 128, 128),
+        ConvShape::fig4b(14, 256, 256),
+    ]
+}
+
+/// One row of a utilization figure.
+#[derive(Clone, Debug)]
+pub struct UtilRow {
+    /// Shape label.
+    pub label: String,
+    /// Handwritten-library baseline utilization.
+    pub old_lib: f64,
+    /// exo-rs schedule utilization.
+    pub exo_lib: f64,
+    /// Hardware-loop-unroller utilization.
+    pub hardware: f64,
+}
+
+/// Runs one Fig. 4a shape end to end: schedule → trace → simulate, for
+/// all three series.
+pub fn fig4a_row(lib: &GemminiLib, state: &StateRef, n: i64, m: i64, k: i64) -> UtilRow {
+    let p = gemmini_gemm::schedule_matmul(lib, state, n, m, k)
+        .unwrap_or_else(|e| panic!("schedule_matmul({n},{m},{k}): {e}"));
+    let exo_trace = gemmini_gemm::trace_matmul(p.proc(), n, m, k, false);
+    let old_trace = gemmini_gemm::old_lib_matmul_trace(n, m, k);
+    UtilRow {
+        label: format!("{n}x{m}x{k}"),
+        old_lib: Simulator::new(SimConfig::software()).run(&old_trace).utilization,
+        exo_lib: Simulator::new(SimConfig::software()).run(&exo_trace).utilization,
+        hardware: Simulator::new(SimConfig::hardware_unroller()).run(&exo_trace).utilization,
+    }
+}
+
+/// Runs one Fig. 4b conv shape end to end.
+pub fn fig4b_row(lib: &GemminiLib, state: &StateRef, s: &ConvShape) -> UtilRow {
+    let p = gemmini_conv::schedule_conv(lib, state, s)
+        .unwrap_or_else(|e| panic!("schedule_conv({s:?}): {e}"));
+    let exo_trace = gemmini_conv::trace_conv(p.proc(), s, false);
+    let old_trace = gemmini_conv::old_lib_conv_trace(s);
+    UtilRow {
+        label: format!("{} x {} x {}", s.out_dim, s.oc, s.ic),
+        old_lib: Simulator::new(SimConfig::software()).run(&old_trace).utilization,
+        exo_lib: Simulator::new(SimConfig::software()).run(&exo_trace).utilization,
+        hardware: Simulator::new(SimConfig::hardware_unroller()).run(&exo_trace).utilization,
+    }
+}
+
+/// A fresh shared scheduling state.
+pub fn fresh_state() -> StateRef {
+    Arc::new(Mutex::new(SchedState::default()))
+}
+
+/// Pretty-prints a utilization table plus the §7.1 aggregates.
+pub fn print_util_table(title: &str, rows: &[UtilRow]) {
+    println!("== {title} ==");
+    println!("{:<18} {:>9} {:>9} {:>9}", "shape", "Old-lib", "Exo-lib", "Hardware");
+    for r in rows {
+        println!(
+            "{:<18} {:>8.0}% {:>8.0}% {:>8.0}%",
+            r.label,
+            r.old_lib * 100.0,
+            r.exo_lib * 100.0,
+            r.hardware * 100.0
+        );
+    }
+    let avg = |f: fn(&UtilRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let speedup: f64 =
+        rows.iter().map(|r| r.exo_lib / r.old_lib).sum::<f64>() / rows.len() as f64;
+    println!(
+        "avg: old {:.0}%, exo {:.0}%, hw {:.0}% | exo/old speedup {:.1}x | exo = {:.0}% of hw",
+        avg(|r| r.old_lib) * 100.0,
+        avg(|r| r.exo_lib) * 100.0,
+        avg(|r| r.hardware) * 100.0,
+        speedup,
+        avg(|r| r.exo_lib) / avg(|r| r.hardware) * 100.0
+    );
+}
+
+/// Counts the instructions in a trace by kind (for ablation reporting).
+pub fn count_kinds(trace: &[HwOp]) -> Vec<(String, usize)> {
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    for op in trace {
+        *counts.entry(op.instr.clone()).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_headline_claims_hold_on_a_sample() {
+        // one representative shape: Exo ≫ Old-lib, Hardware ≥ Exo
+        let lib = GemminiLib::new();
+        let st = fresh_state();
+        let row = fig4a_row(&lib, &st, 784, 256, 256);
+        assert!(
+            row.exo_lib > 2.0 * row.old_lib,
+            "exo {:.2} vs old {:.2}",
+            row.exo_lib,
+            row.old_lib
+        );
+        assert!(row.hardware >= row.exo_lib, "hw {:.2} vs exo {:.2}", row.hardware, row.exo_lib);
+        assert!(row.exo_lib > 0.4, "exo too low: {:.2}", row.exo_lib);
+    }
+
+    #[test]
+    fn fig4b_headline_claims_hold_on_a_sample() {
+        let lib = GemminiLib::new();
+        let st = fresh_state();
+        let row = fig4b_row(&lib, &st, &ConvShape::fig4b(28, 128, 128));
+        assert!(
+            row.exo_lib > 2.0 * row.old_lib,
+            "exo {:.2} vs old {:.2}",
+            row.exo_lib,
+            row.old_lib
+        );
+        assert!(row.hardware >= row.exo_lib);
+    }
+}

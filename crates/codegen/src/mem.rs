@@ -1,0 +1,140 @@
+//! User-defined memories (paper §2.2, §3.2.1).
+//!
+//! A [`Memory`] describes how buffers annotated with a given memory name
+//! are materialized in C: the allocation/free code, and whether plain
+//! C-level reads and writes of individual locations are allowed at all.
+//! Hardware scratchpads typically disable direct access, so that only
+//! custom instructions can touch them — the backend checks enforce this.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use exo_core::types::MemName;
+use exo_core::Sym;
+
+/// How a memory materializes allocations.
+#[derive(Clone, Debug)]
+pub enum AllocStyle {
+    /// Ordinary heap allocation (`malloc`/`free`).
+    Malloc,
+    /// Stack allocation (`type name[n]`), suitable for small buffers.
+    Stack,
+    /// Custom templates with `{name}`, `{prim_type}`, `{size}` holes.
+    Custom {
+        /// Allocation statement template.
+        alloc: String,
+        /// Free statement template.
+        free: String,
+    },
+}
+
+/// A user-defined memory.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    /// The memory's name (matched against buffer annotations).
+    pub name: MemName,
+    /// How allocations are emitted.
+    pub alloc: AllocStyle,
+    /// Whether plain C reads/writes/reductions of individual locations
+    /// are allowed. `false` models non-addressable accelerator memories
+    /// (paper §2.2: "memory is not addressable").
+    pub addressable: bool,
+    /// Optional global C definitions emitted once (e.g. `#include`s or
+    /// scratchpad base addresses).
+    pub c_global: Option<String>,
+}
+
+impl Memory {
+    /// The default DRAM memory: heap-allocated, fully addressable.
+    pub fn dram() -> Memory {
+        Memory {
+            name: MemName::dram(),
+            alloc: AllocStyle::Malloc,
+            addressable: true,
+            c_global: None,
+        }
+    }
+
+    /// A non-addressable accelerator memory (scratchpads, accumulators).
+    pub fn accelerator(name: &str, alloc: AllocStyle) -> Memory {
+        Memory {
+            name: MemName(Sym::new(name)),
+            alloc,
+            addressable: false,
+            c_global: None,
+        }
+    }
+}
+
+/// The set of memories known to a code-generation run.
+#[derive(Clone, Debug)]
+pub struct MemorySet {
+    mems: HashMap<String, Memory>,
+}
+
+impl Default for MemorySet {
+    fn default() -> MemorySet {
+        MemorySet::new()
+    }
+}
+
+impl MemorySet {
+    /// A set containing only DRAM.
+    pub fn new() -> MemorySet {
+        let mut mems = HashMap::new();
+        mems.insert("DRAM".to_string(), Memory::dram());
+        MemorySet { mems }
+    }
+
+    /// Registers a memory (replacing any with the same name).
+    pub fn register(&mut self, mem: Memory) -> &mut Self {
+        self.mems.insert(mem.name.0.name(), mem);
+        self
+    }
+
+    /// Looks up a memory by annotation name.
+    pub fn get(&self, name: MemName) -> Option<&Memory> {
+        self.mems.get(&name.0.name())
+    }
+
+    /// Iterates over all registered memories.
+    pub fn iter(&self) -> impl Iterator<Item = &Memory> {
+        self.mems.values()
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}addressable)",
+            self.name,
+            if self.addressable { "" } else { "non-" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_set_has_dram() {
+        let set = MemorySet::new();
+        assert!(set.get(MemName::dram()).is_some());
+        assert!(set.get(MemName::dram()).unwrap().addressable);
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut set = MemorySet::new();
+        let spad = Memory::accelerator("SPAD", AllocStyle::Custom {
+            alloc: "{prim_type}* {name} = spad_malloc({size});".into(),
+            free: "spad_free({name});".into(),
+        });
+        let name = spad.name;
+        set.register(spad);
+        let m = set.get(name).expect("registered");
+        assert!(!m.addressable);
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end validation of the C backend: generated code is compiled
+//! with the system C compiler, executed, and its output compared against
+//! the reference interpreter.
+
+use std::io::Write as _;
+use std::process::Command;
+use std::sync::Arc;
+
+use exo_codegen::{compile_c, CodegenCtx};
+use exo_core::build::{read, ProcBuilder};
+use exo_core::ir::{Expr, Proc};
+use exo_core::types::DataType;
+use exo_interp::{ArgVal, Machine};
+
+fn gemm(_n: i64) -> Arc<Proc> {
+    let mut b = ProcBuilder::new("gemm");
+    let n = b.size("n");
+    let ne = Expr::var(n);
+    let a = b.tensor("A", DataType::F32, vec![ne.clone(), ne.clone()]);
+    let bb = b.tensor("B", DataType::F32, vec![ne.clone(), ne.clone()]);
+    let c = b.tensor("C", DataType::F32, vec![ne.clone(), ne.clone()]);
+    let i = b.begin_for("i", Expr::int(0), ne.clone());
+    let j = b.begin_for("j", Expr::int(0), ne.clone());
+    let k = b.begin_for("k", Expr::int(0), ne);
+    b.reduce(
+        c,
+        vec![Expr::var(i), Expr::var(j)],
+        read(a, vec![Expr::var(i), Expr::var(k)]).mul(read(bb, vec![Expr::var(k), Expr::var(j)])),
+    );
+    b.end_for().end_for().end_for();
+    b.finish()
+}
+
+fn have_cc() -> bool {
+    Command::new("cc").arg("--version").output().is_ok()
+}
+
+/// Compiles `code` + a main() harness, runs it, and returns the printed
+/// floats.
+fn compile_and_run(code: &str, harness: &str) -> Vec<f64> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("exo_cg_test_{}_{unique}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let src = dir.join("t.c");
+    let bin = dir.join("t.bin");
+    let mut f = std::fs::File::create(&src).unwrap();
+    writeln!(f, "{code}").unwrap();
+    writeln!(f, "#include <stdio.h>").unwrap();
+    writeln!(f, "{harness}").unwrap();
+    drop(f);
+    let out = Command::new("cc")
+        .arg("-O1")
+        .arg("-o")
+        .arg(&bin)
+        .arg(&src)
+        .arg("-lm")
+        .output()
+        .expect("cc failed to start");
+    assert!(
+        out.status.success(),
+        "cc failed:\n{}\nsource:\n{code}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let run = Command::new(&bin).output().expect("binary failed to start");
+    assert!(run.status.success(), "binary crashed");
+    String::from_utf8_lossy(&run.stdout)
+        .split_whitespace()
+        .map(|t| t.parse::<f64>().expect("float output"))
+        .collect()
+}
+
+#[test]
+fn generated_gemm_matches_interpreter() {
+    if !have_cc() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    let n = 6usize;
+    let proc = gemm(n as i64);
+    let ctx = CodegenCtx::new();
+    let code = compile_c(&[Arc::clone(&proc)], &ctx).unwrap();
+
+    // interpreter result
+    let a: Vec<f64> = (0..n * n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+    let bv: Vec<f64> = (0..n * n).map(|i| ((i * 3) % 7) as f64 - 3.0).collect();
+    let mut m = Machine::new();
+    let ida = m.alloc_extern("A", DataType::F32, &[n, n], &a);
+    let idb = m.alloc_extern("B", DataType::F32, &[n, n], &bv);
+    let idc = m.alloc_extern("C", DataType::F32, &[n, n], &vec![0.0; n * n]);
+    m.run(
+        &proc,
+        &[ArgVal::Int(n as i64), ArgVal::Tensor(ida), ArgVal::Tensor(idb), ArgVal::Tensor(idc)],
+    )
+    .unwrap();
+    let want = m.buffer_values(idc).unwrap();
+
+    // compiled result
+    let harness = format!(
+        r#"
+int main(void) {{
+    float A[{nn}], B[{nn}], C[{nn}];
+    for (int i = 0; i < {nn}; i++) {{
+        A[i] = (float)((i * 7) % 5) - 2.0f;
+        B[i] = (float)((i * 3) % 7) - 3.0f;
+        C[i] = 0.0f;
+    }}
+    gemm({n}, A, B, C);
+    for (int i = 0; i < {nn}; i++) printf("%.1f ", C[i]);
+    printf("\n");
+    return 0;
+}}
+"#,
+        nn = n * n,
+        n = n
+    );
+    let got = compile_and_run(&code, &harness);
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert!((g - w).abs() < 1e-3, "mismatch: {g} vs {w}");
+    }
+}
+
+#[test]
+fn generated_windows_and_calls_compile() {
+    if !have_cc() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    // a callee taking a window, called on a sub-tile
+    let mut cb = ProcBuilder::new("fill2");
+    let n = cb.size("n");
+    let dst = cb.window_arg("dst", DataType::F32, vec![Expr::var(n)], exo_core::MemName::dram());
+    let i = cb.begin_for("i", Expr::int(0), Expr::var(n));
+    cb.assign(dst, vec![Expr::var(i)], Expr::float(3.0));
+    cb.end_for();
+    let fill2 = cb.finish();
+
+    let mut b = ProcBuilder::new("main_proc");
+    let a = b.tensor("A", DataType::F32, vec![Expr::int(8)]);
+    b.call(
+        &fill2,
+        vec![
+            Expr::int(4),
+            Expr::Window {
+                buf: a,
+                coords: vec![exo_core::WAccess::Interval(Expr::int(2), Expr::int(6))],
+            },
+        ],
+    );
+    let p = b.finish();
+    let ctx = CodegenCtx::new();
+    let code = compile_c(&[p], &ctx).unwrap();
+    let harness = r#"
+int main(void) {
+    float A[8] = {0};
+    main_proc(A);
+    for (int i = 0; i < 8; i++) printf("%.1f ", A[i]);
+    printf("\n");
+    return 0;
+}
+"#;
+    let got = compile_and_run(&code, harness);
+    assert_eq!(got, vec![0.0, 0.0, 3.0, 3.0, 3.0, 3.0, 0.0, 0.0]);
+}
+
+#[test]
+fn alloc_and_free_are_balanced() {
+    if !have_cc() {
+        eprintln!("skipping: no C compiler");
+        return;
+    }
+    // staging buffer allocated inside a loop: malloc/free per entry
+    let mut b = ProcBuilder::new("staged");
+    let a = b.tensor("A", DataType::F32, vec![Expr::int(4)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::int(4));
+    let t = b.alloc("t", DataType::F32, vec![], exo_core::MemName::dram());
+    b.assign(t, vec![], read(a, vec![Expr::var(i)]));
+    b.assign(a, vec![Expr::var(i)], read(t, vec![]).add(Expr::float(1.0)));
+    b.end_for();
+    let p = b.finish();
+    let ctx = CodegenCtx::new();
+    let code = compile_c(&[p], &ctx).unwrap();
+    assert_eq!(code.matches("malloc").count(), code.matches("free(").count());
+    let harness = r#"
+int main(void) {
+    float A[4] = {1, 2, 3, 4};
+    staged(A);
+    for (int i = 0; i < 4; i++) printf("%.1f ", A[i]);
+    printf("\n");
+    return 0;
+}
+"#;
+    let got = compile_and_run(&code, harness);
+    assert_eq!(got, vec![2.0, 3.0, 4.0, 5.0]);
+}

@@ -1,0 +1,14 @@
+//! # exo-front
+//!
+//! The textual front-end for exo-rs: a lexer and recursive-descent
+//! parser for the paper's surface syntax (`@proc` / `@instr`, `seq`
+//! loops, dependent tensor types, windows, `@`-memory annotations,
+//! configuration reads/writes). The original Exo is embedded in Python;
+//! exo-rs offers both a Rust builder API (`exo_core::build`) and this
+//! text syntax, which round-trips with `exo_core::printer` and keeps the
+//! examples legible.
+
+pub mod lex;
+pub mod parse;
+
+pub use parse::{parse_library, parse_proc, ParseEnv, ParseError};

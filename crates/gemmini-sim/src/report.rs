@@ -1,0 +1,42 @@
+//! Simulation reports.
+
+use crate::Unit;
+
+/// Busy cycles of one functional unit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UnitBusy {
+    /// The unit.
+    pub unit: Unit,
+    /// Cycles the unit spent executing.
+    pub busy_cycles: u64,
+}
+
+/// The result of simulating one instruction trace.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimReport {
+    /// Total cycles from first issue to last completion.
+    pub cycles: u64,
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+    /// `macs / (cycles · peak)` — the quantity plotted in paper Fig. 4.
+    pub utilization: f64,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Pipeline flushes caused by configuration instructions.
+    pub flushes: u64,
+    /// DMA bytes moved.
+    pub bytes_moved: u64,
+    /// Per-unit busy cycles.
+    pub busy: Vec<UnitBusy>,
+}
+
+impl SimReport {
+    /// Busy cycles of a unit (0 if never used).
+    pub fn busy_of(&self, unit: Unit) -> u64 {
+        self.busy
+            .iter()
+            .find(|b| b.unit == unit)
+            .map(|b| b.busy_cycles)
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,16 @@
+//! # exo-hwlibs
+//!
+//! Hardware targets as libraries (paper §3.2): everything exo-rs knows
+//! about the Gemmini accelerator and x86 AVX-512 lives here, in user
+//! code — custom memories, configuration-state structs, and `@instr`
+//! procedures whose Exo bodies serve as semantic specifications while
+//! their C templates drive code generation.
+//!
+//! Adding a new accelerator to exo-rs means writing another module like
+//! [`gemmini`] or [`avx512`]; the compiler crates are never touched.
+
+pub mod avx512;
+pub mod gemmini;
+
+pub use avx512::Avx512Lib;
+pub use gemmini::GemminiLib;

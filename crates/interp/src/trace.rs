@@ -1,0 +1,124 @@
+//! Hardware-instruction traces.
+//!
+//! When the interpreter executes a call to an `@instr` procedure, it
+//! records a [`HwOp`] with fully resolved arguments. The accelerator
+//! simulators (`gemmini-sim`, `x86-sim`) replay these traces with timing
+//! models — the same way the paper's evaluation runs Exo-generated
+//! instruction streams on Gemmini RTL and an AVX-512 core.
+
+use exo_core::types::{DataType, MemName};
+
+use crate::value::BufId;
+
+/// A resolved tensor argument of a hardware instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TensorRef {
+    /// Underlying buffer identity.
+    pub buf: BufId,
+    /// Memory the buffer resides in.
+    pub mem: MemName,
+    /// Element precision.
+    pub dtype: DataType,
+    /// Linear element offset of the window origin within the buffer.
+    pub base_offset: usize,
+    /// Extent per retained dimension.
+    pub shape: Vec<usize>,
+    /// Element stride per retained dimension.
+    pub strides: Vec<usize>,
+}
+
+impl TensorRef {
+    /// Total number of elements addressed.
+    pub fn len(&self) -> usize {
+        self.shape.iter().product::<usize>().max(1)
+    }
+
+    /// Whether the reference is a scalar (rank 0).
+    pub fn is_empty(&self) -> bool {
+        self.shape.iter().any(|&n| n == 0)
+    }
+}
+
+/// A resolved argument of a hardware instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceArg {
+    /// Integer control argument.
+    Int(i64),
+    /// Boolean control argument.
+    Bool(bool),
+    /// Tensor/window argument.
+    Tensor(TensorRef),
+}
+
+impl TraceArg {
+    /// Extracts the integer, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            TraceArg::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extracts the tensor reference, if any.
+    pub fn as_tensor(&self) -> Option<&TensorRef> {
+        match self {
+            TraceArg::Tensor(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// One executed hardware instruction.
+#[derive(Clone, PartialEq, Debug)]
+pub struct HwOp {
+    /// The `@instr` procedure's name.
+    pub instr: String,
+    /// `(formal parameter name, resolved argument)` pairs.
+    pub args: Vec<(String, TraceArg)>,
+}
+
+impl HwOp {
+    /// Looks up an argument by formal parameter name.
+    pub fn arg(&self, name: &str) -> Option<&TraceArg> {
+        self.args.iter().find(|(n, _)| n == name).map(|(_, a)| a)
+    }
+
+    /// Looks up an integer argument by name.
+    pub fn int_arg(&self, name: &str) -> Option<i64> {
+        self.arg(name).and_then(TraceArg::as_int)
+    }
+
+    /// Looks up a tensor argument by name.
+    pub fn tensor_arg(&self, name: &str) -> Option<&TensorRef> {
+        self.arg(name).and_then(TraceArg::as_tensor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_lookup() {
+        let op = HwOp {
+            instr: "mvin".into(),
+            args: vec![
+                ("n".into(), TraceArg::Int(16)),
+                (
+                    "src".into(),
+                    TraceArg::Tensor(TensorRef {
+                        buf: BufId(0),
+                        mem: MemName::dram(),
+                        dtype: DataType::F32,
+                        base_offset: 64,
+                        shape: vec![16, 16],
+                        strides: vec![128, 1],
+                    }),
+                ),
+            ],
+        };
+        assert_eq!(op.int_arg("n"), Some(16));
+        assert_eq!(op.tensor_arg("src").unwrap().len(), 256);
+        assert!(op.arg("missing").is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! The Gemmini MATMUL case study (paper §7.1, Fig. 4a).
+//!
+//! A naive three-loop i8 GEMM is scheduled — with the rewrite primitives
+//! of `exo-sched` and the instruction library of `exo-hwlibs` — into a
+//! Gemmini kernel: output-stationary accumulator row-panels, scratchpad
+//! staging for A tiles and B (whole-matrix when it fits, per-`ko` panels
+//! otherwise), hoisted stride configuration, and every data-movement and
+//! compute loop replaced by a Gemmini instruction via unification.
+//!
+//! The handwritten baseline ("Old-lib") is modeled by
+//! [`old_lib_matmul_trace`]: the Gemmini C library's static loop order
+//! with fused per-operation configuration, as described in §7.1.
+
+use std::sync::Arc;
+
+use exo_core::build::{read, ProcBuilder};
+use exo_core::ir::{Expr, Proc};
+use exo_core::types::DataType;
+use exo_core::MemName;
+use exo_hwlibs::GemminiLib;
+use exo_interp::{ArgVal, HwOp, Machine, TensorRef, TraceArg};
+use exo_sched::{Procedure, SchedError, StateRef};
+
+/// Bytes of scratchpad we allow the resident-B strategy to occupy.
+const B_RESIDENT_LIMIT: i64 = 192 * 1024;
+
+/// The naive algorithm: `C += A·B` with i8 operands and an i32 output.
+///
+/// All of `n`, `m`, `k` must be multiples of 16.
+pub fn naive_matmul(n: i64, m: i64, k: i64) -> Arc<Proc> {
+    let mut b = ProcBuilder::new("matmul");
+    let a = b.tensor("A", DataType::I8, vec![Expr::int(n), Expr::int(k)]);
+    let bb = b.tensor("B", DataType::I8, vec![Expr::int(k), Expr::int(m)]);
+    let c = b.tensor("C", DataType::I32, vec![Expr::int(n), Expr::int(m)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::int(n));
+    let j = b.begin_for("j", Expr::int(0), Expr::int(m));
+    let kk = b.begin_for("k", Expr::int(0), Expr::int(k));
+    b.reduce(
+        c,
+        vec![Expr::var(i), Expr::var(j)],
+        read(a, vec![Expr::var(i), Expr::var(kk)]).mul(read(bb, vec![Expr::var(kk), Expr::var(j)])),
+    );
+    b.end_for().end_for().end_for();
+    b.finish()
+}
+
+/// Schedules [`naive_matmul`] onto Gemmini. Returns the scheduled
+/// procedure; `p.directives()` is the schedule length reported in the
+/// Fig. 7 reproduction.
+///
+/// # Errors
+///
+/// Fails if a rewrite's safety condition cannot be verified (which would
+/// indicate a bug — every step here is provably safe) or if the sizes
+/// are not multiples of 16.
+pub fn schedule_matmul(
+    lib: &GemminiLib,
+    state: &StateRef,
+    n: i64,
+    m: i64,
+    k: i64,
+) -> Result<Procedure, SchedError> {
+    let p = Procedure::with_state(naive_matmul(n, m, k), StateRef::clone(state));
+
+    // ---- tiling to 16×16×16 (the §2.1 rewrites) ----
+    let p = p
+        .split("for i in _: _", 16, "io", "ii")?
+        .split("for j in _: _", 16, "jo", "ji")?
+        .split("for k in _: _", 16, "ko", "ki")?
+        .reorder("for ii in _: _", "jo")?
+        .reorder("for ji in _: _", "ko")?
+        .reorder("for ii in _: _", "ko")?
+        // output-stationary: ko outside jo
+        .reorder("for jo in _: _", "ko")?;
+
+    let io = p.iter_sym("io").expect("io exists");
+    let ko = p.iter_sym("ko").expect("ko exists");
+    let b_resident = k * m <= B_RESIDENT_LIMIT;
+
+    // ---- staging (the §2.2 rewrites) ----
+    // B: whole matrix resident in the scratchpad when it fits; otherwise
+    // one 16×M row-panel per ko iteration.
+    let p = if b_resident {
+        p.stage_mem(
+            "for io in _: _",
+            "B",
+            &[(Expr::int(0), Expr::int(k)), (Expr::int(0), Expr::int(m))],
+            "b_s",
+            lib.scratchpad,
+        )?
+    } else {
+        p.stage_mem(
+            "for jo in _: _",
+            "B",
+            &[
+                (Expr::var(ko).mul(Expr::int(16)), Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16))),
+                (Expr::int(0), Expr::int(m)),
+            ],
+            "b_s",
+            lib.scratchpad,
+        )?
+    };
+    // C row-panel accumulates across ko in the accumulator.
+    let p = p.stage_mem(
+        "for ko in _: _",
+        "C",
+        &[
+            (Expr::var(io).mul(Expr::int(16)), Expr::var(io).mul(Expr::int(16)).add(Expr::int(16))),
+            (Expr::int(0), Expr::int(m)),
+        ],
+        "res",
+        lib.accum,
+    )?;
+    // A tile per (io, ko).
+    let p = p.stage_mem(
+        "for jo in _: _",
+        "A",
+        &[
+            (Expr::var(io).mul(Expr::int(16)), Expr::var(io).mul(Expr::int(16)).add(Expr::int(16))),
+            (Expr::var(ko).mul(Expr::int(16)), Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16))),
+        ],
+        "a_s",
+        lib.scratchpad,
+    )?;
+
+    // ---- configuration (the §2.4 rewrites) ----
+    let a_sym = p.lookup_data_sym("A").expect("A exists");
+    let b_sym = p.lookup_data_sym("B").expect("B exists");
+    let c_sym = p.lookup_data_sym("C").expect("C exists");
+    // the configuration writes go before the first statement of the body
+    // (the b_s alloc when B is resident at top level, the io loop otherwise)
+    let first_pat = if b_resident { "b_s : _" } else { "for io in _: _" };
+    let p = p
+        .configwrite_before(first_pat, lib.config_ld.0, lib.config_ld.1, Expr::Stride { buf: a_sym, dim: 0 })?
+        .configwrite_before(first_pat, lib.config_ld2.0, lib.config_ld2.1, Expr::Stride { buf: b_sym, dim: 0 })?
+        .configwrite_before(first_pat, lib.config_ld_acc.0, lib.config_ld_acc.1, Expr::Stride { buf: c_sym, dim: 0 })?
+        .configwrite_before(first_pat, lib.config_st.0, lib.config_st.1, Expr::Stride { buf: c_sym, dim: 0 })?;
+
+    // ---- instruction selection (the §2.3 rewrites) ----
+    // patterns match in pre-order, so map the staging loops in the order
+    // they appear: resident-B puts the B loads at the top of the body;
+    // otherwise the res loads (start of the io body) come first.
+    let replace_b = |p: Procedure| -> Result<Procedure, SchedError> {
+        if b_resident {
+            // K × M whole-matrix load: tile both dimensions
+            let q = p
+                .split("for ld0 in _: _", 16, "bl0o", "bl0i")?
+                .split("for ld1 in _: _", 16, "bl1o", "bl1i")?
+                .reorder("for bl0i in _: _", "bl1o")?;
+            q.replace("for bl0i in _: _", &lib.mvin2)
+        } else {
+            // 16 × M panel: tile columns
+            let q = p
+                .split("for ld1 in _: _", 16, "bl1o", "bl1i")?
+                .reorder("for ld0 in _: _", "bl1o")?;
+            q.replace("for ld0 in _: _", &lib.mvin2)
+        }
+    };
+    let replace_res = |p: Procedure| -> Result<Procedure, SchedError> {
+        p.split("for ld1 in _: _", 16, "cl1o", "cl1i")?
+            .reorder("for ld0 in _: _", "cl1o")?
+            .replace("for ld0 in _: _", &lib.mvin_acc)
+    };
+    let p = if b_resident {
+        let p = replace_b(p)?;
+        replace_res(p)?
+    } else {
+        let p = replace_res(p)?;
+        replace_b(p)?
+    };
+    // A tile load → mvin (already 16×16).
+    let p = p.replace("for ld0 in _: _", &lib.mvin)?;
+    // compute → one systolic pass per (jo).
+    let p = p.replace("for ii in _: _", &lib.matmul)?;
+    // res store loops → mvout_acc.
+    let p = p
+        .split("for st1 in _: _", 16, "cs1o", "cs1i")?
+        .reorder("for st0 in _: _", "cs1o")?
+        .replace("for st0 in _: _", &lib.mvout_acc)?;
+
+    // ---- turn the configuration writes into instructions ----
+    let p = p
+        .replace("ConfigLd.src_stride = _", &lib.config_ld_instr)?
+        .replace("ConfigLd2.src_stride = _", &lib.config_ld2_instr)?
+        .replace("ConfigLdAcc.src_stride = _", &lib.config_ld_acc_instr)?
+        .replace("ConfigSt.dst_stride = _", &lib.config_st_instr)?;
+
+    Ok(p.simplify())
+}
+
+/// Runs the scheduled kernel on the interpreter and returns the
+/// instruction trace. When `functional` is false, instruction bodies are
+/// skipped — traces for timing only (the buffers stay uninitialized).
+pub fn trace_matmul(proc: &Proc, n: i64, m: i64, k: i64, functional: bool) -> Vec<HwOp> {
+    let mut machine = Machine::new();
+    machine.execute_instr_bodies = functional;
+    let (a, b, c);
+    if functional {
+        let av: Vec<f64> = (0..n * k).map(|i| ((i % 5) as f64) - 2.0).collect();
+        let bv: Vec<f64> = (0..k * m).map(|i| ((i % 7) as f64) - 3.0).collect();
+        a = machine.alloc_extern("A", DataType::I8, &[n as usize, k as usize], &av);
+        b = machine.alloc_extern("B", DataType::I8, &[k as usize, m as usize], &bv);
+        c = machine.alloc_extern(
+            "C",
+            DataType::I32,
+            &[n as usize, m as usize],
+            &vec![0.0; (n * m) as usize],
+        );
+    } else {
+        a = machine.alloc_extern_uninit("A", DataType::I8, &[n as usize, k as usize]);
+        b = machine.alloc_extern_uninit("B", DataType::I8, &[k as usize, m as usize]);
+        c = machine.alloc_extern_uninit("C", DataType::I32, &[n as usize, m as usize]);
+    }
+    machine
+        .run(proc, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)])
+        .expect("scheduled kernel must run");
+    machine.take_trace()
+}
+
+/// A trace model of Gemmini's handwritten C library (the "Old-lib"
+/// baseline of Fig. 4): static `i →j → k` tile order, A and B tiles
+/// loaded per matmul (no cross-tile reuse), and the load/store
+/// configuration re-issued around every move — the fused-configuration
+/// behavior §2.4 describes.
+pub fn old_lib_matmul_trace(n: i64, m: i64, k: i64) -> Vec<HwOp> {
+    let mut trace = Vec::new();
+    let t = |buf: usize, off: i64, rows: i64, cols: i64, stride: i64, acc: bool| {
+        TraceArg::Tensor(TensorRef {
+            buf: exo_interp::BufId(buf),
+            mem: MemName::dram(),
+            dtype: if acc { DataType::I32 } else { DataType::I8 },
+            base_offset: off as usize,
+            shape: vec![rows as usize, cols as usize],
+            strides: vec![stride as usize, 1],
+        })
+    };
+    let int = |v: i64| TraceArg::Int(v);
+    let config = |name: &str| HwOp {
+        instr: name.into(),
+        args: vec![("s".into(), int(k))],
+    };
+    // buffers: 0=A dram, 1=B dram, 2=C dram, 3=spadA, 4=spadB, 5=acc
+    for io in 0..n / 16 {
+        for jo in 0..m / 16 {
+            // the handwritten library re-issues the (coupled) load and
+            // store configuration once per output tile
+            trace.push(config("gemmini_config_ld"));
+            trace.push(HwOp {
+                instr: "gemmini_mvin_acc".into(),
+                args: vec![
+                    ("n".into(), int(16)),
+                    ("m".into(), int(16)),
+                    ("src".into(), t(2, (io * 16) * m + jo * 16, 16, 16, m, true)),
+                    ("dst".into(), t(5, 0, 16, 16, 16, true)),
+                ],
+            });
+            for ko in 0..k / 16 {
+                // A tile + B tile per matmul (no cross-tile reuse)
+                trace.push(HwOp {
+                    instr: "gemmini_mvin".into(),
+                    args: vec![
+                        ("n".into(), int(16)),
+                        ("m".into(), int(16)),
+                        ("src".into(), t(0, (io * 16) * k + ko * 16, 16, 16, k, false)),
+                        ("dst".into(), t(3, 0, 16, 16, 16, false)),
+                    ],
+                });
+                trace.push(HwOp {
+                    instr: "gemmini_mvin".into(),
+                    args: vec![
+                        ("n".into(), int(16)),
+                        ("m".into(), int(16)),
+                        ("src".into(), t(1, (ko * 16) * m + jo * 16, 16, 16, m, false)),
+                        ("dst".into(), t(4, 0, 16, 16, 16, false)),
+                    ],
+                });
+                trace.push(HwOp {
+                    instr: "gemmini_matmul".into(),
+                    args: vec![
+                        ("n".into(), int(16)),
+                        ("m".into(), int(16)),
+                        ("k".into(), int(16)),
+                        ("a".into(), t(3, 0, 16, 16, 16, false)),
+                        ("b".into(), t(4, 0, 16, 16, 16, false)),
+                        ("c".into(), t(5, 0, 16, 16, 16, true)),
+                    ],
+                });
+            }
+            // store C tile with fused store config
+            trace.push(config("gemmini_config_st"));
+            trace.push(HwOp {
+                instr: "gemmini_mvout_acc".into(),
+                args: vec![
+                    ("n".into(), int(16)),
+                    ("m".into(), int(16)),
+                    ("src".into(), t(5, 0, 16, 16, 16, true)),
+                    ("dst".into(), t(2, (io * 16) * m + jo * 16, 16, 16, m, true)),
+                ],
+            });
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_sched::SchedState;
+    use std::sync::Mutex;
+
+    fn state() -> StateRef {
+        Arc::new(Mutex::new(SchedState::default()))
+    }
+
+    #[test]
+    fn schedule_small_matmul_is_correct() {
+        let lib = GemminiLib::new();
+        let st = state();
+        let (n, m, k) = (32, 32, 32);
+        let p = schedule_matmul(&lib, &st, n, m, k).expect("schedule");
+        assert!(p.directives() >= 25, "directives: {}", p.directives());
+        assert!(p.show().contains("gemmini_matmul("), "{}", p.show());
+        assert!(p.show().contains("gemmini_config_ld("), "{}", p.show());
+
+        // functional oracle: scheduled == naive
+        let naive = naive_matmul(n, m, k);
+        let run = |proc: &Proc| -> Vec<f64> {
+            let mut machine = Machine::new();
+            let av: Vec<f64> = (0..n * k).map(|i| ((i % 5) as f64) - 2.0).collect();
+            let bv: Vec<f64> = (0..k * m).map(|i| ((i % 7) as f64) - 3.0).collect();
+            let a = machine.alloc_extern("A", DataType::I8, &[n as usize, k as usize], &av);
+            let b = machine.alloc_extern("B", DataType::I8, &[k as usize, m as usize], &bv);
+            let c = machine.alloc_extern(
+                "C",
+                DataType::I32,
+                &[n as usize, m as usize],
+                &vec![0.0; (n * m) as usize],
+            );
+            machine
+                .run(proc, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)])
+                .expect("run");
+            machine.buffer_values(c).unwrap()
+        };
+        assert_eq!(run(&naive), run(p.proc()));
+    }
+
+    #[test]
+    fn trace_contains_hoisted_configs() {
+        let lib = GemminiLib::new();
+        let st = state();
+        let p = schedule_matmul(&lib, &st, 32, 32, 32).expect("schedule");
+        let trace = trace_matmul(p.proc(), 32, 32, 32, false);
+        // exactly 4 configuration instructions, all at the front
+        let configs: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.instr.starts_with("gemmini_config"))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(configs.len(), 4, "configs: {configs:?}");
+        assert!(configs.iter().all(|&i| i < 4), "configs not hoisted: {configs:?}");
+        // 2×2×2 tiles: 8 matmuls
+        let matmuls = trace.iter().filter(|op| op.instr == "gemmini_matmul").count();
+        assert_eq!(matmuls, 8);
+    }
+
+    #[test]
+    fn old_lib_trace_has_fused_configs() {
+        let trace = old_lib_matmul_trace(32, 32, 32);
+        let configs = trace.iter().filter(|op| op.instr.starts_with("gemmini_config")).count();
+        // one load-config and one store-config per output tile: 4×2
+        assert_eq!(configs, 4 * 2);
+    }
+}

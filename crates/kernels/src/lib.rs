@@ -1,0 +1,11 @@
+//! # exo-kernels
+//!
+//! The paper's case studies (§7), reproduced end to end: naive
+//! algorithms, the schedules that map them onto the Gemmini and AVX-512
+//! hardware libraries, and the baseline models they are compared
+//! against.
+
+pub mod gemmini_conv;
+pub mod gemmini_gemm;
+pub mod x86_conv;
+pub mod x86_gemm;

@@ -1,0 +1,289 @@
+//! The scheduling handle: an immutable procedure plus the shared state
+//! (solver, global registry, equivalence classes) that rewrites consult.
+//!
+//! Every scheduling operator consumes a [`Procedure`] by reference and
+//! returns a *new* `Procedure` — the original is untouched, exactly as in
+//! the paper where each primitive "takes a procedure p … and returns an
+//! equivalent, rewritten procedure as output" (§3.3).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use exo_core::ir::Proc;
+use exo_core::path::{replace_at, stmt_at, StmtPath};
+use exo_core::{Block, Stmt, Sym};
+use exo_analysis::context::{site_ctx, SiteCtx};
+use exo_analysis::globals::GlobalReg;
+use exo_smt::formula::Formula;
+use exo_smt::solver::Answer;
+
+use crate::pattern::Pattern;
+
+/// An error raised by a scheduling operator. Scheduling errors are
+/// always *safe*: the procedure is unchanged and no unsound rewrite was
+/// performed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SchedError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl SchedError {
+    pub(crate) fn new(message: impl Into<String>) -> SchedError {
+        SchedError { message: message.into() }
+    }
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+pub(crate) fn serr<T>(message: impl Into<String>) -> Result<T, SchedError> {
+    Err(SchedError::new(message))
+}
+
+/// Shared scheduling state: the SMT solver (with its cache), the global
+/// registry, and the provenance store tracking which procedures are
+/// equivalent modulo which configuration fields (§3.3, §6.2).
+#[derive(Debug, Default)]
+pub struct SchedState {
+    /// The Presburger solver (cached across queries).
+    pub solver: exo_smt::Solver,
+    /// Canonical names for configuration fields.
+    pub reg: GlobalReg,
+    next_class: usize,
+}
+
+/// Shared handle to the scheduling state.
+pub type StateRef = Arc<Mutex<SchedState>>;
+
+/// A schedulable procedure with provenance.
+#[derive(Clone, Debug)]
+pub struct Procedure {
+    proc: Arc<Proc>,
+    /// The original procedure this one was scheduled from.
+    root: Arc<Proc>,
+    state: StateRef,
+    /// Equivalence class (procedures derived from the same root).
+    class: usize,
+    /// Configuration fields modulo which this procedure is equivalent to
+    /// its class root.
+    polluted: BTreeSet<(Sym, Sym)>,
+    /// Number of scheduling directives applied since the root (the
+    /// "Sched." column of paper Fig. 7).
+    directives: usize,
+}
+
+impl Procedure {
+    /// Wraps a procedure as the root of a new equivalence class.
+    pub fn new(proc: Arc<Proc>) -> Procedure {
+        Procedure::with_state(proc, Arc::new(Mutex::new(SchedState::default())))
+    }
+
+    /// Wraps a procedure sharing existing scheduling state (so solver
+    /// caches and canonical global names are reused).
+    pub fn with_state(proc: Arc<Proc>, state: StateRef) -> Procedure {
+        let class = {
+            let mut st = state.lock().expect("scheduler state poisoned");
+            st.next_class += 1;
+            st.next_class
+        };
+        Procedure { root: Arc::clone(&proc), proc, state, class, polluted: BTreeSet::new(), directives: 0 }
+    }
+
+    /// The underlying IR.
+    pub fn proc(&self) -> &Arc<Proc> {
+        &self.proc
+    }
+
+    /// The procedure body.
+    pub fn body(&self) -> &Block {
+        &self.proc.body
+    }
+
+    /// The shared scheduling state.
+    pub fn state(&self) -> &StateRef {
+        &self.state
+    }
+
+    /// Number of scheduling directives applied so far.
+    pub fn directives(&self) -> usize {
+        self.directives
+    }
+
+    /// Configuration fields modulo which this procedure is equivalent to
+    /// the procedure it was derived from.
+    pub fn polluted(&self) -> &BTreeSet<(Sym, Sym)> {
+        &self.polluted
+    }
+
+    /// Whether `other` was derived from the same root (and is therefore
+    /// provably equivalent modulo the union of both pollution sets).
+    pub fn same_class(&self, other: &Procedure) -> bool {
+        Arc::ptr_eq(&self.state, &other.state) && self.class == other.class
+    }
+
+    /// The original (root) procedure this handle was scheduled from.
+    pub fn root(&self) -> &Arc<Proc> {
+        &self.root
+    }
+
+    /// Whether this procedure's scheduling root is the given procedure.
+    pub(crate) fn root_is(&self, other: &Arc<Proc>) -> bool {
+        Arc::ptr_eq(&self.root, other)
+    }
+
+    /// Looks up the symbol of the first loop iterator with the given
+    /// spelling (useful for building window expressions after splits).
+    pub fn iter_sym(&self, name: &str) -> Option<Sym> {
+        let mut found = None;
+        exo_core::visit::visit_stmts(self.body(), &mut |s| {
+            if let Stmt::For { iter, .. } = s {
+                if iter.name() == name && found.is_none() {
+                    found = Some(*iter);
+                }
+            }
+        });
+        found
+    }
+
+    /// Pretty-prints the procedure.
+    pub fn show(&self) -> String {
+        exo_core::printer::proc_to_string(&self.proc)
+    }
+
+    // ------------------------------------------------------------------
+    // internals used by the operator modules
+    // ------------------------------------------------------------------
+
+    pub(crate) fn find(&self, pattern: &str) -> Result<StmtPath, SchedError> {
+        let pat = Pattern::parse(pattern).map_err(|e| SchedError::new(e.message))?;
+        pat.find(&self.proc.body).map_err(|e| SchedError::new(e.message))
+    }
+
+    pub(crate) fn stmt(&self, path: &StmtPath) -> Result<&Stmt, SchedError> {
+        stmt_at(&self.proc.body, path)
+            .ok_or_else(|| SchedError::new(format!("invalid statement path {path}")))
+    }
+
+    /// Splices new statements in place of the one at `path`, producing a
+    /// derived procedure (one directive applied, same pollution).
+    pub(crate) fn splice(
+        &self,
+        path: &StmtPath,
+        f: &mut dyn FnMut(&Stmt) -> Vec<Stmt>,
+    ) -> Result<Procedure, SchedError> {
+        let body = replace_at(&self.proc.body, path, f)
+            .ok_or_else(|| SchedError::new(format!("invalid statement path {path}")))?;
+        Ok(self.with_body(body))
+    }
+
+    /// Derives a procedure with a new body.
+    pub(crate) fn with_body(&self, body: Block) -> Procedure {
+        let proc = Arc::new(Proc { body, ..(*self.proc).clone() });
+        Procedure {
+            proc,
+            root: Arc::clone(&self.root),
+            state: Arc::clone(&self.state),
+            class: self.class,
+            polluted: self.polluted.clone(),
+            directives: self.directives + 1,
+        }
+    }
+
+    /// Derives a procedure with a wholly new IR (used by signature-level
+    /// rewrites such as `set_precision` on arguments).
+    pub(crate) fn with_proc(&self, proc: Proc) -> Procedure {
+        Procedure {
+            proc: Arc::new(proc),
+            root: Arc::clone(&self.root),
+            state: Arc::clone(&self.state),
+            class: self.class,
+            polluted: self.polluted.clone(),
+            directives: self.directives + 1,
+        }
+    }
+
+    /// Records additional pollution on a derived procedure.
+    pub(crate) fn pollute(mut self, fields: impl IntoIterator<Item = (Sym, Sym)>) -> Procedure {
+        self.polluted.extend(fields);
+        self
+    }
+
+    /// Builds the [`SiteCtx`] for a path.
+    pub(crate) fn site(&self, path: &StmtPath) -> Result<SiteCtx, SchedError> {
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        site_ctx(&self.proc, path, &mut st.reg)
+            .ok_or_else(|| SchedError::new(format!("invalid statement path {path}")))
+    }
+
+    /// Checks that `condition` is valid under the site assumptions and
+    /// lowering side constraints; fails safe on `Unknown`.
+    pub(crate) fn require_valid(
+        &self,
+        hyp: Formula,
+        condition: Formula,
+        what: &str,
+    ) -> Result<(), SchedError> {
+        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let goal = hyp.implies(condition);
+        match st.solver.check_valid(&goal) {
+            Answer::Yes => Ok(()),
+            Answer::No => serr(format!("{what}: safety condition refuted")),
+            Answer::Unknown => serr(format!("{what}: solver gave up (failing safe)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_core::build::ProcBuilder;
+    use exo_core::ir::Expr;
+    use exo_core::types::DataType;
+
+    fn simple() -> Procedure {
+        let mut b = ProcBuilder::new("p");
+        let a = b.tensor("A", DataType::F32, vec![Expr::int(8)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+        b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_for();
+        Procedure::new(b.finish())
+    }
+
+    #[test]
+    fn find_and_stmt() {
+        let p = simple();
+        let path = p.find("for i in _: _").unwrap();
+        assert!(matches!(p.stmt(&path).unwrap(), Stmt::For { .. }));
+        assert!(p.find("for z in _: _").is_err());
+    }
+
+    #[test]
+    fn splice_derives_new_procedure() {
+        let p = simple();
+        let path = p.find("A[_] = _").unwrap();
+        let q = p.splice(&path, &mut |s| vec![s.clone(), Stmt::Pass]).unwrap();
+        assert_eq!(q.directives(), 1);
+        assert_eq!(p.directives(), 0);
+        assert!(p.same_class(&q));
+        // original unchanged
+        let orig_for = p.find("for i in _: _").unwrap();
+        match p.stmt(&orig_for).unwrap() {
+            Stmt::For { body, .. } => assert_eq!(body.len(), 1),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn separate_roots_are_different_classes() {
+        let p = simple();
+        let q = simple();
+        assert!(!p.same_class(&q));
+    }
+}

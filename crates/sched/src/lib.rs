@@ -1,0 +1,28 @@
+//! # exo-sched
+//!
+//! User scheduling via composable rewrites (paper §3.3–3.4, Fig. 2).
+//!
+//! A [`Procedure`] wraps an IR procedure together with shared scheduling
+//! state (the SMT solver and provenance). Every operator —
+//! `split`, `reorder`, `unroll`, `inline`, `replace`, `stage_mem`,
+//! `configwrite_after`, … — is an independent rewrite returning a new
+//! `Procedure`; correctness of each is checked in isolation against the
+//! effect analyses of `exo-analysis`, which is what makes the scheduling
+//! language easy to extend.
+//!
+//! Operators that pollute configuration state (e.g.
+//! [`Procedure::configwrite_after`]) record the polluted fields in the
+//! provenance, and the context-extension rule (§6.2) is used to confirm
+//! that the rest of the procedure never observes the difference.
+
+pub mod fold;
+pub mod handle;
+pub mod ops_calls;
+pub mod ops_config;
+pub mod ops_data;
+pub mod ops_loops;
+pub mod pattern;
+pub mod unify;
+
+pub use handle::{Procedure, SchedError, SchedState, StateRef};
+pub use pattern::Pattern;

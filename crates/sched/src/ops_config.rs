@@ -1,0 +1,295 @@
+//! Configuration-state scheduling operators (paper §2.4, Fig. 2):
+//! inserting configuration writes (`configwrite_after` /
+//! `configwrite_before`), `bind_config`, `reorder_stmts`, and deletion of
+//! redundant configuration writes.
+//!
+//! Inserting a configuration write is always locally safe but only
+//! preserves equivalence *modulo* the written field (§5.7 "new config
+//! write"); the context-extension rule (§6.2) then confirms the rest of
+//! the procedure never reads the polluted field, and the pollution is
+//! recorded in the procedure's provenance either way.
+
+use std::collections::HashSet;
+
+use exo_core::ir::{Expr, Stmt};
+use exo_core::visit::{visit_expr, visit_stmts};
+use exo_core::Sym;
+
+use exo_analysis::conditions;
+use exo_analysis::context::{context_extension_ok, effect_of_stmts_at};
+use exo_analysis::effexpr::LowerCtx;
+use exo_analysis::globals::lift_in_env;
+use exo_smt::formula::Formula;
+
+use crate::handle::{serr, Procedure, SchedError};
+
+impl Procedure {
+    /// Inserts `config.field = value` immediately after the matched
+    /// statement. Pollutes `(config, field)`; fails if any code after the
+    /// insertion point may read the field (context extension, §6.2).
+    pub fn configwrite_after(
+        &self,
+        stmt_pat: &str,
+        config: Sym,
+        field: Sym,
+        value: Expr,
+    ) -> Result<Procedure, SchedError> {
+        self.configwrite_at(stmt_pat, config, field, value, false)
+    }
+
+    /// Inserts `config.field = value` immediately before the matched
+    /// statement (used in §2.4 to materialize `ConfigLoad.src_stride`).
+    pub fn configwrite_before(
+        &self,
+        stmt_pat: &str,
+        config: Sym,
+        field: Sym,
+        value: Expr,
+    ) -> Result<Procedure, SchedError> {
+        self.configwrite_at(stmt_pat, config, field, value, true)
+    }
+
+    fn configwrite_at(
+        &self,
+        stmt_pat: &str,
+        config: Sym,
+        field: Sym,
+        value: Expr,
+        before: bool,
+    ) -> Result<Procedure, SchedError> {
+        let path = self.find(stmt_pat)?;
+        let write = Stmt::WriteConfig { config, field, rhs: value };
+        let rewritten = self.splice(&path, &mut |s| {
+            if before {
+                vec![write.clone(), s.clone()]
+            } else {
+                vec![s.clone(), write.clone()]
+            }
+        })?;
+        // context extension: nothing after the insertion may read the field.
+        // The path of the *write* in the new body:
+        let write_path = if before { path.clone() } else { path.sibling(1).expect("idx+1") };
+        let ok = {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let st = &mut *st;
+            context_extension_ok(
+                rewritten.proc(),
+                &write_path,
+                &[(config, field)],
+                &mut st.reg,
+                &mut st.solver,
+            )
+        };
+        if !ok {
+            return serr(format!(
+                "configwrite: code after the insertion point may read {}.{}",
+                config.name(),
+                field.name()
+            ));
+        }
+        Ok(rewritten.pollute([(config, field)]))
+    }
+
+    /// `bind_config(s, e, config.field)`: replaces occurrences of the
+    /// control expression `e` (given in printed form) inside the matched
+    /// statement with a read of `config.field`, inserting
+    /// `config.field = e` just before. Pollutes `(config, field)`.
+    pub fn bind_config(
+        &self,
+        stmt_pat: &str,
+        expr_text: &str,
+        config: Sym,
+        field: Sym,
+    ) -> Result<Procedure, SchedError> {
+        let path = self.find(stmt_pat)?;
+        let stmt = self.stmt(&path)?.clone();
+        // locate the control expression by printed form
+        let mut target: Option<Expr> = None;
+        let mut scan = |e: &Expr| {
+            visit_expr(e, &mut |e| {
+                if target.is_none()
+                    && exo_core::printer::expr_to_string(e) == expr_text.trim()
+                {
+                    target = Some(e.clone());
+                }
+            });
+        };
+        visit_stmts(std::slice::from_ref(&stmt), &mut |s| match s {
+            Stmt::Assign { idx, rhs, .. } | Stmt::Reduce { idx, rhs, .. } => {
+                idx.iter().for_each(&mut scan);
+                scan(rhs);
+            }
+            Stmt::WriteConfig { rhs, .. } => scan(rhs),
+            Stmt::If { cond, .. } => scan(cond),
+            Stmt::For { lo, hi, .. } => {
+                scan(lo);
+                scan(hi);
+            }
+            Stmt::Call { args, .. } => args.iter().for_each(&mut scan),
+            Stmt::WindowDef { rhs, .. } => scan(rhs),
+            _ => {}
+        });
+        let Some(target) = target else {
+            return serr(format!("bind_config: no control expression prints as {expr_text:?}"));
+        };
+        // the statement itself must not write the field (the bound value
+        // must stay current throughout)
+        let mut writes_field = false;
+        visit_stmts(std::slice::from_ref(&stmt), &mut |s| {
+            if let Stmt::WriteConfig { config: c, field: f, .. } = s {
+                if *c == config && *f == field {
+                    writes_field = true;
+                }
+            }
+        });
+        if writes_field {
+            return serr("bind_config: the statement itself writes the bound field");
+        }
+        // scope check: e must be evaluable before the statement
+        let mut inner_bound = HashSet::new();
+        visit_stmts(std::slice::from_ref(&stmt), &mut |s| {
+            if let Stmt::For { iter, .. } = s {
+                inner_bound.insert(*iter);
+            }
+        });
+        let mut used = HashSet::new();
+        visit_expr(&target, &mut |e| {
+            if let Expr::Var(v) = e {
+                used.insert(*v);
+            }
+        });
+        if used.intersection(&inner_bound).next().is_some() {
+            return serr("bind_config: expression uses loop variables bound inside the statement");
+        }
+
+        let write = Stmt::WriteConfig { config, field, rhs: target.clone() };
+        let replaced = exo_core::visit::map_stmt_exprs(&stmt, &mut |e| {
+            if e == target {
+                Expr::ReadConfig { config, field }
+            } else {
+                e
+            }
+        });
+        let rewritten = self.splice(&path, &mut |_| vec![write.clone(), replaced.clone()])?;
+        let ok = {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let st = &mut *st;
+            context_extension_ok(
+                rewritten.proc(),
+                &path,
+                &[(config, field)],
+                &mut st.reg,
+                &mut st.solver,
+            )
+        };
+        if !ok {
+            return serr(format!(
+                "bind_config: code after the statement may read {}.{}",
+                config.name(),
+                field.name()
+            ));
+        }
+        Ok(rewritten.pollute([(config, field)]))
+    }
+
+    /// Deletes a configuration write that is provably redundant: the
+    /// written value definitely equals the field's current value (§2.4's
+    /// "eliminating redundant setting of configuration state"). This is
+    /// fully equivalence-preserving — no pollution.
+    pub fn delete_config(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        let path = self.find(stmt_pat)?;
+        let Stmt::WriteConfig { config, field, rhs } = self.stmt(&path)?.clone() else {
+            return serr(format!("delete_config: {stmt_pat:?} is not a configuration write"));
+        };
+        let site = self.site(&path)?;
+        {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let current = site.genv.value(config, field, &mut st.reg);
+            let new = lift_in_env(&rhs, &site.genv, &mut st.reg);
+            let mut lctx = LowerCtx::new();
+            let goal = lctx.lower_bool(&current.eq(new)).definitely();
+            let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+            drop(st);
+            self.require_valid(hyp, goal, &format!("delete_config({stmt_pat})"))
+                .map_err(|e| {
+                    SchedError::new(format!(
+                        "{} — the write is not provably redundant",
+                        e.message
+                    ))
+                })?;
+        }
+        self.splice(&path, &mut |_| vec![])
+    }
+
+    /// `reorder_stmts(s1)`: swaps the matched statement with its
+    /// immediately following sibling, after checking `Commutes` (§5.7).
+    pub fn reorder_stmts(&self, first_pat: &str) -> Result<Procedure, SchedError> {
+        let p1 = self.find(first_pat)?;
+        let p2 = p1
+            .sibling(1)
+            .ok_or_else(|| SchedError::new("reorder_stmts: no following statement"))?;
+        let s1 = self.stmt(&p1)?.clone();
+        let Ok(s2) = self.stmt(&p2).cloned() else {
+            return serr("reorder_stmts: no following statement");
+        };
+        // scoping: s1 may not bind names used by s2
+        let mut bound = Vec::new();
+        if let Stmt::Alloc { name, .. } | Stmt::WindowDef { name, .. } = &s1 {
+            bound.push(*name);
+        }
+        let free2 = exo_core::visit::free_syms_block(std::slice::from_ref(&s2));
+        if bound.iter().any(|b| free2.contains(b)) {
+            return serr("reorder_stmts: the first statement binds a name the second uses");
+        }
+
+        let site = self.site(&p1)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let e1 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s1), &site.genv, &mut st.reg);
+        let e2 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s2), &site.genv, &mut st.reg);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::commutes(&e1, &e2, &mut lctx);
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("reorder_stmts({first_pat})"))?;
+
+        let p = self.splice(&p2, &mut |_| vec![])?;
+        p.splice(&p1, &mut |s| vec![s2.clone(), s.clone()])
+            .map(|q| {
+                // two splices applied, but it is one directive
+                let _ = &q;
+                q
+            })
+    }
+
+    /// Deletes a `pass` statement (always equivalence-preserving).
+    pub fn delete_pass(&self) -> Result<Procedure, SchedError> {
+        let path = self.find("pass")?;
+        self.splice(&path, &mut |_| vec![])
+    }
+
+    /// `shadow_delete(s)`: deletes the matched statement when the
+    /// statement immediately after it shadows it (`s1;s2 ≡ s2`, §5.7).
+    pub fn shadow_delete(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        let p1 = self.find(stmt_pat)?;
+        let p2 = p1
+            .sibling(1)
+            .ok_or_else(|| SchedError::new("shadow_delete: no following statement"))?;
+        let s1 = self.stmt(&p1)?.clone();
+        let Ok(s2) = self.stmt(&p2).cloned() else {
+            return serr("shadow_delete: no following statement");
+        };
+        if matches!(s1, Stmt::Alloc { .. } | Stmt::WindowDef { .. }) {
+            return serr("shadow_delete: cannot delete a binding statement");
+        }
+        let site = self.site(&p1)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let e1 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s1), &site.genv, &mut st.reg);
+        let e2 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s2), &site.genv, &mut st.reg);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::shadows(&e1, &e2, &mut lctx);
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("shadow_delete({stmt_pat})"))?;
+        self.splice(&p1, &mut |_| vec![])
+    }
+}

@@ -1,0 +1,501 @@
+//! Loop-restructuring scheduling operators (paper Fig. 2):
+//! `split`, `split_guard`, `reorder`, `unroll`, `fission_after`,
+//! `fuse_loop`, `partition_loop`, `remove_loop`, `lift_if`, `add_guard`.
+
+use std::collections::HashMap;
+
+use exo_core::ir::{Expr, Stmt};
+use exo_core::visit::{free_syms_block, refresh_bound, subst_block, visit_stmts};
+use exo_core::Sym;
+
+use exo_analysis::conditions;
+use exo_analysis::context::effect_of_stmts_at;
+use exo_analysis::effects::Effect;
+use exo_analysis::effexpr::LowerCtx;
+use exo_analysis::globals::lift_in_env;
+use exo_smt::formula::Formula;
+
+use crate::fold::{fold_block, fold_expr};
+use crate::handle::{serr, Procedure, SchedError};
+
+impl Procedure {
+    /// `split(i, c, io, ii)`: rewrites `for i in seq(0, N)` into
+    /// `for io in seq(0, N/c): for ii in seq(0, c)` with `i := c·io + ii`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless the loop starts at 0 and `c` provably divides the
+    /// extent (use [`Procedure::split_guard`] for non-divisible extents).
+    pub fn split(
+        &self,
+        loop_pat: &str,
+        c: i64,
+        io_name: &str,
+        ii_name: &str,
+    ) -> Result<Procedure, SchedError> {
+        if c <= 0 {
+            return serr("split: factor must be positive");
+        }
+        let path = self.find(loop_pat)?;
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("split: {loop_pat:?} is not a loop"));
+        };
+        if lo.as_int() != Some(0) {
+            return serr("split: only zero-based loops can be split");
+        }
+        // divisibility: D(hi mod c == 0) under the site assumptions
+        let site = self.site(&path)?;
+        {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
+            let mut lctx = LowerCtx::new();
+            let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+            let li = lctx.lower_int(&hi_e);
+            let side = lctx.assumptions();
+            let goal = Formula::and(vec![
+                li.def,
+                Formula::dvd(c, li.val),
+            ]);
+            drop(st);
+            self.require_valid(
+                Formula::and(vec![hyp, side]),
+                goal,
+                &format!("split({loop_pat}, {c})"),
+            )
+            .map_err(|e| {
+                SchedError::new(format!(
+                    "{} — extent not provably divisible by {c}; \
+                     use split_guard for a tail guard",
+                    e.message
+                ))
+            })?;
+        }
+        let io = Sym::new(io_name);
+        let ii = Sym::new(ii_name);
+        let outer_hi = fold_expr(&hi.clone().div(Expr::int(c)));
+        let mut map = HashMap::new();
+        map.insert(iter, Expr::var(io).mul(Expr::int(c)).add(Expr::var(ii)));
+        let new_body = subst_block(&body, &map);
+        let new_loop = Stmt::For {
+            iter: io,
+            lo: Expr::int(0),
+            hi: outer_hi,
+            body: vec![Stmt::For {
+                iter: ii,
+                lo: Expr::int(0),
+                hi: Expr::int(c),
+                body: fold_block(&new_body),
+            }],
+        };
+        self.splice(&path, &mut |_| vec![new_loop.clone()])
+    }
+
+    /// `split_guard(i, c, io, ii)`: like [`Procedure::split`] but handles
+    /// non-divisible extents with a tail guard
+    /// `if c·io + ii < N:` around the body.
+    pub fn split_guard(
+        &self,
+        loop_pat: &str,
+        c: i64,
+        io_name: &str,
+        ii_name: &str,
+    ) -> Result<Procedure, SchedError> {
+        if c <= 0 {
+            return serr("split_guard: factor must be positive");
+        }
+        let path = self.find(loop_pat)?;
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("split_guard: {loop_pat:?} is not a loop"));
+        };
+        if lo.as_int() != Some(0) {
+            return serr("split_guard: only zero-based loops can be split");
+        }
+        let io = Sym::new(io_name);
+        let ii = Sym::new(ii_name);
+        // ceil(N / c) = (N + c - 1) / c
+        let outer_hi = fold_expr(&hi.clone().add(Expr::int(c - 1)).div(Expr::int(c)));
+        let idx = Expr::var(io).mul(Expr::int(c)).add(Expr::var(ii));
+        let mut map = HashMap::new();
+        map.insert(iter, idx.clone());
+        let new_body = fold_block(&subst_block(&body, &map));
+        let guarded = Stmt::If {
+            cond: idx.lt(hi.clone()),
+            body: new_body,
+            orelse: vec![],
+        };
+        let new_loop = Stmt::For {
+            iter: io,
+            lo: Expr::int(0),
+            hi: outer_hi,
+            body: vec![Stmt::For {
+                iter: ii,
+                lo: Expr::int(0),
+                hi: Expr::int(c),
+                body: vec![guarded],
+            }],
+        };
+        self.splice(&path, &mut |_| vec![new_loop.clone()])
+    }
+
+    /// `reorder(i, j)`: swaps two perfectly nested loops
+    /// `for i: for j: s ~> for j: for i: s` after checking the §5.8
+    /// reordering condition.
+    pub fn reorder(&self, outer_pat: &str, inner_name: &str) -> Result<Procedure, SchedError> {
+        let path = self.find(outer_pat)?;
+        let Stmt::For { iter: x, lo: xlo, hi: xhi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("reorder: {outer_pat:?} is not a loop"));
+        };
+        let [Stmt::For { iter: y, lo: ylo, hi: yhi, body: inner_body }] = &body[..] else {
+            return serr("reorder: the outer loop body must be exactly one nested loop");
+        };
+        if y.name() != inner_name {
+            return serr(format!(
+                "reorder: inner loop is {}, expected {inner_name}",
+                y.name()
+            ));
+        }
+        // the inner bounds may not depend on the outer iterator
+        let mut bound_syms = std::collections::HashSet::new();
+        for e in [ylo, yhi] {
+            exo_core::visit::visit_expr(e, &mut |e| {
+                if let Expr::Var(v) = e {
+                    bound_syms.insert(*v);
+                }
+            });
+        }
+        if bound_syms.contains(&x) {
+            return serr("reorder: inner loop bounds depend on the outer iterator");
+        }
+
+        let site = self.site(&path)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let xlo_e = lift_in_env(&xlo, &site.genv, &mut st.reg);
+        let xhi_e = lift_in_env(&xhi, &site.genv, &mut st.reg);
+        let ylo_e = lift_in_env(ylo, &site.genv, &mut st.reg);
+        let yhi_e = lift_in_env(yhi, &site.genv, &mut st.reg);
+        let body_eff = effect_of_stmts_at(self.proc(), inner_body, &site.genv, &mut st.reg);
+        let bounds_eff = config_reads_of(&[ylo.clone(), yhi.clone()]);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::loop_reorder(
+            x,
+            (&xlo_e, &xhi_e),
+            *y,
+            (&ylo_e, &yhi_e),
+            &bounds_eff,
+            &body_eff,
+            &mut lctx,
+        );
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("reorder({outer_pat}, {inner_name})"))?;
+
+        let swapped = Stmt::For {
+            iter: *y,
+            lo: ylo.clone(),
+            hi: yhi.clone(),
+            body: vec![Stmt::For {
+                iter: x,
+                lo: xlo,
+                hi: xhi,
+                body: inner_body.clone(),
+            }],
+        };
+        self.splice(&path, &mut |_| vec![swapped.clone()])
+    }
+
+    /// `unroll(i)`: fully unrolls a loop with constant bounds.
+    pub fn unroll(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        let path = self.find(loop_pat)?;
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("unroll: {loop_pat:?} is not a loop"));
+        };
+        let (Some(lo), Some(hi)) = (fold_expr(&lo).as_int(), fold_expr(&hi).as_int()) else {
+            return serr("unroll: loop bounds must be constant");
+        };
+        if hi - lo > 1024 {
+            return serr(format!("unroll: refusing to unroll {} iterations", hi - lo));
+        }
+        let mut out = Vec::new();
+        for v in lo..hi {
+            let mut map = HashMap::new();
+            map.insert(iter, Expr::int(v));
+            // freshen allocations so each unrolled copy binds its own
+            out.extend(fold_block(&refresh_bound(&subst_block(&body, &map))));
+        }
+        self.splice(&path, &mut |_| out.clone())
+    }
+
+    /// `fission_after(s)`: splits the loop enclosing the matched
+    /// statement into two loops, the first ending after the statement
+    /// (paper Fig. 2 `fission_after`, condition §5.8).
+    pub fn fission_after(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        let spath = self.find(stmt_pat)?;
+        let Some(loop_path) = spath.parent() else {
+            return serr("fission_after: statement is not inside a loop");
+        };
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&loop_path)?.clone() else {
+            return serr("fission_after: enclosing statement is not a loop");
+        };
+        let cut = spath.last().idx + 1;
+        if cut >= body.len() {
+            return serr("fission_after: nothing after the statement to fission off");
+        }
+        let (part1, part2) = body.split_at(cut);
+
+        // structural scoping: allocations in part1 must not be used in part2
+        let mut alloc_syms = Vec::new();
+        visit_stmts(&part1.to_vec(), &mut |s| {
+            if let Stmt::Alloc { name, .. } | Stmt::WindowDef { name, .. } = s {
+                alloc_syms.push(*name);
+            }
+        });
+        let part2_free = free_syms_block(&part2.to_vec());
+        if alloc_syms.iter().any(|s| part2_free.contains(s)) {
+            return serr("fission_after: cannot fission across an allocation used later");
+        }
+
+        let site = self.site(&loop_path)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
+        let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
+        let eff1 = effect_of_stmts_at(self.proc(), part1, &site.genv, &mut st.reg);
+        let eff2 = effect_of_stmts_at(self.proc(), part2, &site.genv, &mut st.reg);
+        let bounds_eff = config_reads_of(&[lo.clone(), hi.clone()]);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::loop_fission(
+            iter,
+            (&lo_e, &hi_e),
+            &bounds_eff,
+            &eff1,
+            &eff2,
+            &mut lctx,
+        );
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("fission_after({stmt_pat})"))?;
+
+        let iter2 = iter.copy();
+        let mut map = HashMap::new();
+        map.insert(iter, Expr::var(iter2));
+        let loop1 = Stmt::For {
+            iter,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            body: part1.to_vec(),
+        };
+        let loop2 = Stmt::For {
+            iter: iter2,
+            lo,
+            hi,
+            body: refresh_bound(&subst_block(&part2.to_vec(), &map)),
+        };
+        self.splice(&loop_path, &mut |_| vec![loop1.clone(), loop2.clone()])
+    }
+
+    /// `fuse_loop(i)`: fuses the matched loop with its immediately
+    /// following sibling loop (which must have identical bounds); the
+    /// safety condition is the same as fission (§5.8).
+    pub fn fuse_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        let path1 = self.find(loop_pat)?;
+        let path2 = path1.sibling(1).ok_or_else(|| SchedError::new("fuse_loop: no sibling"))?;
+        let Stmt::For { iter: x1, lo: lo1, hi: hi1, body: b1 } = self.stmt(&path1)?.clone() else {
+            return serr(format!("fuse_loop: {loop_pat:?} is not a loop"));
+        };
+        let Ok(Stmt::For { iter: x2, lo: lo2, hi: hi2, body: b2 }) = self.stmt(&path2).cloned()
+        else {
+            return serr("fuse_loop: next statement is not a loop");
+        };
+        if fold_expr(&lo1) != fold_expr(&lo2) || fold_expr(&hi1) != fold_expr(&hi2) {
+            return serr("fuse_loop: loop bounds differ");
+        }
+        // rename the second iterator to the first
+        let mut map = HashMap::new();
+        map.insert(x2, Expr::var(x1));
+        let b2r = subst_block(&b2, &map);
+
+        let site = self.site(&path1)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let lo_e = lift_in_env(&lo1, &site.genv, &mut st.reg);
+        let hi_e = lift_in_env(&hi1, &site.genv, &mut st.reg);
+        let eff1 = effect_of_stmts_at(self.proc(), &b1, &site.genv, &mut st.reg);
+        let eff2 = effect_of_stmts_at(self.proc(), &b2r, &site.genv, &mut st.reg);
+        let bounds_eff = config_reads_of(&[lo1.clone(), hi1.clone()]);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::loop_fission(
+            x1,
+            (&lo_e, &hi_e),
+            &bounds_eff,
+            &eff1,
+            &eff2,
+            &mut lctx,
+        );
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("fuse_loop({loop_pat})"))?;
+
+        let mut fused_body = b1;
+        fused_body.extend(b2r);
+        let fused = Stmt::For { iter: x1, lo: lo1, hi: hi1, body: fused_body };
+        // splice: replace loop1 with fused, delete loop2
+        let p = self.splice(&path1, &mut |_| vec![fused.clone()])?;
+        let del_path = path2;
+        p.splice(&del_path, &mut |_| vec![])
+    }
+
+    /// `partition_loop(i, c)`: splits the iteration range at `lo + c`
+    /// into two back-to-back loops (always equivalence-preserving when
+    /// `lo + c ≤ hi` is provable).
+    pub fn partition_loop(&self, loop_pat: &str, c: i64) -> Result<Procedure, SchedError> {
+        if c < 0 {
+            return serr("partition_loop: offset must be non-negative");
+        }
+        let path = self.find(loop_pat)?;
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("partition_loop: {loop_pat:?} is not a loop"));
+        };
+        let mid = fold_expr(&lo.clone().add(Expr::int(c)));
+        // provable lo + c ≤ hi
+        let site = self.site(&path)?;
+        {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mid_e = lift_in_env(&mid, &site.genv, &mut st.reg);
+            let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
+            let mut lctx = LowerCtx::new();
+            let cond = lctx.lower_bool(&mid_e.le(hi_e)).definitely();
+            let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+            drop(st);
+            self.require_valid(hyp, cond, &format!("partition_loop({loop_pat}, {c})"))?;
+        }
+        let iter2 = iter.copy();
+        let mut map = HashMap::new();
+        map.insert(iter, Expr::var(iter2));
+        let loop1 = Stmt::For { iter, lo, hi: mid.clone(), body: body.clone() };
+        let loop2 = Stmt::For {
+            iter: iter2,
+            lo: mid,
+            hi,
+            body: refresh_bound(&subst_block(&body, &map)),
+        };
+        self.splice(&path, &mut |_| vec![loop1.clone(), loop2.clone()])
+    }
+
+    /// `remove_loop(i)`: replaces `for x do s` by `s` when the loop
+    /// definitely runs at least once, the body is idempotent
+    /// (`Shadows(a, a)`, §5.8), and `x` is not free in the body.
+    pub fn remove_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        let path = self.find(loop_pat)?;
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
+            return serr(format!("remove_loop: {loop_pat:?} is not a loop"));
+        };
+        if free_syms_block(&body).contains(&iter) {
+            return serr("remove_loop: iteration variable is used in the body");
+        }
+        let site = self.site(&path)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
+        let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
+        let body_eff = effect_of_stmts_at(self.proc(), &body, &site.genv, &mut st.reg);
+        let mut lctx = LowerCtx::new();
+        let cond = conditions::loop_remove(iter, (&lo_e, &hi_e), &body_eff, &mut lctx);
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, cond, &format!("remove_loop({loop_pat})"))?;
+        self.splice(&path, &mut |_| body.clone())
+    }
+
+    /// `lift_if`: hoists a loop-invariant conditional out of its
+    /// enclosing loop: `for i: if c: s ~> if c: for i: s`.
+    pub fn lift_if(&self, if_pat: &str) -> Result<Procedure, SchedError> {
+        let if_path = self.find(if_pat)?;
+        let Some(loop_path) = if_path.parent() else {
+            return serr("lift_if: conditional is not inside a loop");
+        };
+        let Stmt::For { iter, lo, hi, body } = self.stmt(&loop_path)?.clone() else {
+            return serr("lift_if: enclosing statement is not a loop");
+        };
+        if body.len() != 1 {
+            return serr("lift_if: the conditional must be the loop's only statement");
+        }
+        let Stmt::If { cond, body: then_b, orelse } = body[0].clone() else {
+            return serr("lift_if: matched statement is not a conditional");
+        };
+        let mut cond_syms = std::collections::HashSet::new();
+        exo_core::visit::visit_expr(&cond, &mut |e| {
+            if let Expr::Var(v) = e {
+                cond_syms.insert(*v);
+            }
+        });
+        if cond_syms.contains(&iter) {
+            return serr("lift_if: condition depends on the iteration variable");
+        }
+        // the condition's (config) reads must commute with the body
+        let site = self.site(&loop_path)?;
+        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let whole_eff = effect_of_stmts_at(self.proc(), &body, &site.genv, &mut st.reg);
+        let cond_eff = config_reads_of(&[cond.clone()]);
+        let mut lctx = LowerCtx::new();
+        let safe = conditions::commutes(&cond_eff, &whole_eff, &mut lctx);
+        let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+        drop(st);
+        self.require_valid(hyp, safe, &format!("lift_if({if_pat})"))?;
+
+        let lifted = Stmt::If {
+            cond,
+            body: vec![Stmt::For {
+                iter,
+                lo: lo.clone(),
+                hi: hi.clone(),
+                body: then_b,
+            }],
+            orelse: if orelse.is_empty() {
+                vec![]
+            } else {
+                let i2 = iter.copy();
+                let mut m = HashMap::new();
+                m.insert(iter, Expr::var(i2));
+                vec![Stmt::For { iter: i2, lo, hi, body: subst_block(&orelse, &m) }]
+            },
+        };
+        self.splice(&loop_path, &mut |_| vec![lifted.clone()])
+    }
+
+    /// `add_guard(s, e)`: wraps the matched statement in `if e: s`. The
+    /// guard must be provably true whenever the statement executes, so
+    /// the rewrite is equivalence-preserving.
+    pub fn add_guard(&self, stmt_pat: &str, cond: Expr) -> Result<Procedure, SchedError> {
+        let path = self.find(stmt_pat)?;
+        let site = self.site(&path)?;
+        {
+            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let c_e = lift_in_env(&cond, &site.genv, &mut st.reg);
+            let mut lctx = LowerCtx::new();
+            let goal = lctx.lower_bool(&c_e).definitely();
+            let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
+            drop(st);
+            self.require_valid(hyp, goal, &format!("add_guard({stmt_pat})"))?;
+        }
+        let stmt = self.stmt(&path)?.clone();
+        let guarded = Stmt::If { cond, body: vec![stmt], orelse: vec![] };
+        self.splice(&path, &mut |_| vec![guarded.clone()])
+    }
+
+    /// `simplify()`: folds constants throughout the body (always
+    /// equivalence-preserving).
+    pub fn simplify(&self) -> Procedure {
+        self.with_body(fold_block(self.body()))
+    }
+}
+
+/// The effect of evaluating control expressions: their configuration
+/// reads.
+fn config_reads_of(exprs: &[Expr]) -> Effect {
+    let mut parts = Vec::new();
+    for e in exprs {
+        exo_core::visit::visit_expr(e, &mut |e| {
+            if let Expr::ReadConfig { config, field } = e {
+                parts.push(Effect::GlobalRead(*config, *field));
+            }
+        });
+    }
+    Effect::seq_all(parts)
+}

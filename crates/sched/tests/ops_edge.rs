@@ -1,0 +1,216 @@
+//! Edge-case tests for scheduling operators not covered by the main
+//! suites: deletion ops, scalar expansion, argument-level rewrites, and
+//! the error paths that keep unsound rewrites out.
+
+use std::sync::Arc;
+
+use exo_core::build::{read, ProcBuilder};
+use exo_core::ir::{Expr, Proc, Stmt};
+use exo_core::types::{DataType, MemName};
+use exo_core::Sym;
+use exo_interp::{ArgVal, Machine};
+use exo_sched::Procedure;
+
+fn run_vec(proc: &Proc, n: usize) -> Vec<f64> {
+    let mut m = Machine::new();
+    let x = m.alloc_extern("x", DataType::F32, &[n], &(0..n).map(|i| i as f64).collect::<Vec<_>>());
+    m.run(proc, &[ArgVal::Tensor(x)]).unwrap();
+    m.buffer_values(x).unwrap()
+}
+
+#[test]
+fn shadow_delete_removes_dead_store() {
+    // x[0] = 1.0; x[0] = 2.0 — the first store is shadowed
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(4)]);
+    b.assign(x, vec![Expr::int(0)], Expr::float(1.0));
+    b.assign(x, vec![Expr::int(0)], Expr::float(2.0));
+    let p = Procedure::new(b.finish());
+    let q = p.shadow_delete("x[_] = _").unwrap();
+    assert_eq!(q.body().len(), 1);
+    assert_eq!(run_vec(p.proc(), 4), run_vec(q.proc(), 4));
+
+    // x[0] = 1.0; x[1] = 2.0 — not shadowed (different locations)
+    let mut b2 = ProcBuilder::new("p2");
+    let x2 = b2.tensor("x", DataType::F32, vec![Expr::int(4)]);
+    b2.assign(x2, vec![Expr::int(0)], Expr::float(1.0));
+    b2.assign(x2, vec![Expr::int(1)], Expr::float(2.0));
+    let p2 = Procedure::new(b2.finish());
+    assert!(p2.shadow_delete("x[_] = _").is_err());
+}
+
+#[test]
+fn shadow_delete_rejects_read_between() {
+    // x[0] = 1.0; x[1] = x[0]; (second statement reads before overwriting
+    // a different cell) — deleting the first store would change x[1]
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(4)]);
+    b.assign(x, vec![Expr::int(0)], Expr::float(1.0));
+    b.assign(x, vec![Expr::int(0)], read(x, vec![Expr::int(0)]).add(Expr::float(1.0)));
+    let p = Procedure::new(b.finish());
+    assert!(p.shadow_delete("x[_] = _").is_err());
+}
+
+#[test]
+fn delete_pass_shrinks_body() {
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(4)]);
+    b.stmt(Stmt::Pass);
+    b.assign(x, vec![Expr::int(0)], Expr::float(1.0));
+    let p = Procedure::new(b.finish());
+    let q = p.delete_pass().unwrap();
+    assert_eq!(q.body().len(), 1);
+    // no pass left: a second call errs
+    assert!(q.delete_pass().is_err());
+}
+
+#[test]
+fn expand_scalar_requires_lane_invariance() {
+    // expression uses the lane variable: rejected
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
+    let l = b.begin_for("lane", Expr::int(0), Expr::int(16));
+    b.assign(x, vec![Expr::var(l)], read(x, vec![Expr::var(l)]).mul(Expr::float(2.0)));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    let e = p
+        .expand_scalar("for lane in _: _", "x[_]", "lane", "bc", MemName::dram())
+        .unwrap_err();
+    assert!(e.message.contains("lane"), "{e}");
+}
+
+#[test]
+fn expand_scalar_correctness() {
+    // y[l] += x[3] * 2 for 16 lanes: expand x[3]
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
+    let l = b.begin_for("lane", Expr::int(0), Expr::int(16));
+    b.reduce(x, vec![Expr::var(l)], read(x, vec![Expr::int(3)]).mul(Expr::float(0.0)));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    let q = p
+        .expand_scalar("for lane in _: _", "x[_]", "lane", "bc", MemName::dram())
+        .unwrap();
+    assert!(q.show().contains("bc"), "{}", q.show());
+    assert_eq!(run_vec(p.proc(), 16), run_vec(q.proc(), 16));
+}
+
+#[test]
+fn set_arg_precision_and_memory() {
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::R, vec![Expr::int(4)]);
+    b.assign(x, vec![Expr::int(0)], Expr::float(1.0));
+    let p = Procedure::new(b.finish());
+
+    let q = p.set_arg_precision("x", DataType::F64).unwrap();
+    assert!(q.show().contains("f64[4]"), "{}", q.show());
+
+    let spad = MemName(Sym::new("SPAD_EDGE"));
+    let r = q.set_arg_memory("x", spad).unwrap();
+    assert!(r.show().contains("@ SPAD_EDGE"), "{}", r.show());
+
+    assert!(p.set_arg_precision("nope", DataType::F32).is_err());
+}
+
+#[test]
+fn lift_alloc_rejects_iteration_dependent_shape() {
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(8)]);
+    let i = b.begin_for("i", Expr::int(1), Expr::int(4));
+    let t = b.alloc("t", DataType::F32, vec![Expr::var(i)], MemName::dram());
+    b.assign(t, vec![Expr::int(0)], Expr::float(0.0));
+    b.assign(x, vec![Expr::var(i)], read(t, vec![Expr::int(0)]));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    let e = p.lift_alloc("t : _").unwrap_err();
+    assert!(e.message.contains("depends on the loop iterator"), "{e}");
+}
+
+#[test]
+fn remove_loop_needs_all_three_conditions() {
+    // uses the iteration variable → rejected structurally
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(8)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::int(4));
+    b.assign(x, vec![Expr::var(i)], Expr::float(0.0));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    let e = p.remove_loop("for i in _: _").unwrap_err();
+    assert!(e.message.contains("iteration variable"), "{e}");
+}
+
+#[test]
+fn inline_handles_window_arguments() {
+    let mut cb = ProcBuilder::new("setter");
+    let n = cb.size("n");
+    let dst = cb.window_arg("dst", DataType::F32, vec![Expr::var(n)], MemName::dram());
+    let i = cb.begin_for("i", Expr::int(0), Expr::var(n));
+    cb.assign(dst, vec![Expr::var(i)], Expr::float(9.0));
+    cb.end_for();
+    let setter = cb.finish();
+
+    let mut b = ProcBuilder::new("main");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(8)]);
+    b.call(
+        &setter,
+        vec![
+            Expr::int(4),
+            Expr::Window {
+                buf: x,
+                coords: vec![exo_core::WAccess::Interval(Expr::int(2), Expr::int(6))],
+            },
+        ],
+    );
+    let p = Procedure::new(b.finish());
+    let q = p.inline("setter(_)").unwrap();
+    assert!(!q.show().contains("setter("), "{}", q.show());
+    let out = run_vec(q.proc(), 8);
+    assert_eq!(out, vec![0.0, 1.0, 9.0, 9.0, 9.0, 9.0, 6.0, 7.0]);
+}
+
+#[test]
+fn directive_counting_is_monotone() {
+    let mut b = ProcBuilder::new("p");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::int(16));
+    b.assign(x, vec![Expr::var(i)], Expr::float(0.0));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    assert_eq!(p.directives(), 0);
+    let q = p.split("for i in _: _", 4, "io", "ii").unwrap();
+    assert_eq!(q.directives(), 1);
+    let r = q.simplify();
+    assert_eq!(r.directives(), 2);
+    // original untouched
+    assert_eq!(p.directives(), 0);
+}
+
+#[test]
+fn replace_multi_statement_block() {
+    // an @instr whose body is two statements: zero then accumulate
+    let mut ib = ProcBuilder::new("zero_and_add");
+    let dst = ib.window_arg("dst", DataType::F32, vec![Expr::int(4)], MemName::dram());
+    let src = ib.window_arg("src", DataType::F32, vec![Expr::int(4)], MemName::dram());
+    ib.instr("zero_add({dst}.data, {src}.data);");
+    let i = ib.begin_for("i", Expr::int(0), Expr::int(4));
+    ib.assign(dst, vec![Expr::var(i)], Expr::float(0.0));
+    ib.end_for();
+    let j = ib.begin_for("j", Expr::int(0), Expr::int(4));
+    ib.reduce(dst, vec![Expr::var(j)], read(src, vec![Expr::var(j)]));
+    ib.end_for();
+    let instr = ib.finish();
+
+    let mut b = ProcBuilder::new("main");
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(8)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::int(4));
+    b.assign(x, vec![Expr::var(i)], Expr::float(0.0));
+    b.end_for();
+    let j = b.begin_for("j", Expr::int(0), Expr::int(4));
+    b.reduce(x, vec![Expr::var(j)], read(x, vec![Expr::var(j).add(Expr::int(4))]));
+    b.end_for();
+    let p = Procedure::new(b.finish());
+    let q = p.replace("for i in _: _", &Arc::clone(&instr)).unwrap();
+    assert!(q.show().contains("zero_and_add("), "{}", q.show());
+    assert_eq!(q.body().len(), 1, "{}", q.show());
+    assert_eq!(run_vec(p.proc(), 8), run_vec(q.proc(), 8));
+}

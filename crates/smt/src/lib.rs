@@ -1,0 +1,29 @@
+//! # exo-smt
+//!
+//! The decision procedure behind exo-rs's safety analyses: a
+//! from-scratch solver for **Presburger arithmetic** (linear integer
+//! arithmetic with divisibility), standing in for the Z3 solver used by
+//! the original Exo implementation.
+//!
+//! * [`ternary`] — the three-valued logic of paper §5.1 with the `D`
+//!   ("definitely") and `M` ("maybe") collapsing operators;
+//! * [`linear`] — canonical linear expressions over ℤ;
+//! * [`formula`] — first-order formulas with quantifiers;
+//! * [`qe`] — Cooper-style quantifier elimination;
+//! * [`solver`] — cached validity/satisfiability checking with a work
+//!   limit that fails safe ([`solver::Answer::Unknown`]).
+//!
+//! Exo's quasi-affine restriction on control expressions (paper §3.1)
+//! guarantees that every safety condition the analyses generate lands in
+//! exactly this decidable fragment.
+
+pub mod formula;
+pub mod linear;
+pub mod qe;
+pub mod solver;
+pub mod ternary;
+
+pub use formula::{Atom, Formula};
+pub use linear::LinExpr;
+pub use solver::{Answer, Solver};
+pub use ternary::TBool;

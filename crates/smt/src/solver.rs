@@ -1,0 +1,287 @@
+//! The solver façade used by the analyses.
+//!
+//! Wraps [`crate::qe`] with free-variable closure, result caching, and
+//! query statistics (the paper §3.3 notes that keeping solver cost low is
+//! essential as scheduling complicates procedures; the cache plus the
+//! provenance "simplest equivalent definition" optimization in
+//! `exo-sched` are the two levers).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::formula::Formula;
+use crate::qe::{eliminate_all, QeBudget, TooHard};
+
+/// Outcome of a satisfiability/validity query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Answer {
+    /// The query is true.
+    Yes,
+    /// The query is false.
+    No,
+    /// The solver gave up (work limit); callers must fail safe.
+    Unknown,
+}
+
+impl Answer {
+    /// Whether the answer is a definite yes.
+    pub fn is_yes(self) -> bool {
+        self == Answer::Yes
+    }
+}
+
+/// Counters describing solver activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SolverStats {
+    /// Queries answered (including cache hits).
+    pub queries: usize,
+    /// Cache hits.
+    pub cache_hits: usize,
+    /// Queries that exceeded the work limit.
+    pub gave_up: usize,
+    /// Total QE nodes produced.
+    pub nodes: usize,
+}
+
+/// A Presburger-arithmetic solver with caching.
+///
+/// # Examples
+///
+/// ```
+/// use exo_smt::solver::{Answer, Solver};
+/// use exo_smt::formula::Formula;
+/// use exo_smt::linear::LinExpr;
+/// use exo_core::sym::Sym;
+///
+/// let mut s = Solver::new();
+/// let x = Sym::new("x");
+/// // x ≤ x + 1 is valid
+/// let f = Formula::le(LinExpr::var(x), LinExpr::var(x).offset(1));
+/// assert_eq!(s.check_valid(&f), Answer::Yes);
+/// ```
+#[derive(Debug)]
+pub struct Solver {
+    cache: HashMap<Formula, Answer>,
+    stats: SolverStats,
+    max_size: usize,
+}
+
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates a solver with the default work limit.
+    pub fn new() -> Solver {
+        Solver { cache: HashMap::new(), stats: SolverStats::default(), max_size: 5_000_000 }
+    }
+
+    /// Creates a solver with a custom work limit (QE nodes per query).
+    pub fn with_limit(max_size: usize) -> Solver {
+        Solver { max_size, ..Solver::new() }
+    }
+
+    /// Returns activity counters.
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Checks whether `f` is satisfiable (free variables are
+    /// existentially quantified).
+    pub fn check_sat(&mut self, f: &Formula) -> Answer {
+        self.stats.queries += 1;
+        if let Some(&a) = self.cache.get(f) {
+            self.stats.cache_hits += 1;
+            return a;
+        }
+        let answer = match self.decide(f) {
+            Ok(true) => Answer::Yes,
+            Ok(false) => Answer::No,
+            Err(TooHard { .. }) => {
+                self.stats.gave_up += 1;
+                Answer::Unknown
+            }
+        };
+        self.cache.insert(f.clone(), answer);
+        answer
+    }
+
+    /// Checks whether `f` is valid (free variables universally
+    /// quantified): `valid(f) ⇔ ¬sat(¬f)`.
+    pub fn check_valid(&mut self, f: &Formula) -> Answer {
+        match self.check_sat(&f.clone().negate()) {
+            Answer::Yes => Answer::No,
+            Answer::No => Answer::Yes,
+            Answer::Unknown => Answer::Unknown,
+        }
+    }
+
+    /// Checks validity of `hyp ⇒ goal`.
+    pub fn check_entails(&mut self, hyp: &Formula, goal: &Formula) -> Answer {
+        self.check_valid(&hyp.clone().implies(goal.clone()))
+    }
+
+    fn decide(&mut self, f: &Formula) -> Result<bool, TooHard> {
+        let mut budget = QeBudget { max_size: self.max_size, produced: 0 };
+        // First make the body quantifier-free; the ∃-closure over free
+        // variables is then decided disjunct-by-disjunct with early exit.
+        let result = eliminate_all(f, &mut budget).and_then(|qf| sat_qf(&qf, &mut budget));
+        self.stats.nodes += budget.produced;
+        result
+    }
+}
+
+/// Decides satisfiability of a quantifier-free formula, existentially
+/// closing its free variables. Splits top-level disjunctions (early exit
+/// on the first satisfiable disjunct) and eliminates the cheapest-looking
+/// variable first.
+fn sat_qf(f: &Formula, budget: &mut QeBudget) -> Result<bool, TooHard> {
+    match f {
+        Formula::True => return Ok(true),
+        Formula::False => return Ok(false),
+        Formula::Or(fs) => {
+            for g in fs {
+                if sat_qf(g, budget)? {
+                    return Ok(true);
+                }
+            }
+            return Ok(false);
+        }
+        _ => {}
+    }
+    let mut fv = BTreeSet::new();
+    f.free_vars(&mut fv);
+    let Some(&x) = fv.iter().min_by_key(|&&v| occurrence_weight(f, v)) else {
+        // ground: atoms mostly fold at construction, but a few paths
+        // (e.g. Cooper rescaling) build atoms directly — evaluate here.
+        return Ok(eval_ground(f));
+    };
+    let g = crate::qe::eliminate_exists(x, f, budget)?;
+    sat_qf(&g, budget)
+}
+
+/// Evaluates a ground (variable-free) formula.
+///
+/// # Panics
+///
+/// Panics if the formula mentions a variable.
+fn eval_ground(f: &Formula) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => a.eval_ground().expect("formula is not ground"),
+        Formula::Not(g) => !eval_ground(g),
+        Formula::And(fs) => fs.iter().all(eval_ground),
+        Formula::Or(fs) => fs.iter().any(eval_ground),
+        Formula::Exists(_, g) | Formula::Forall(_, g) => eval_ground(g),
+    }
+}
+
+/// Heuristic elimination cost: number of atoms mentioning the variable.
+fn occurrence_weight(f: &Formula, x: exo_core::sym::Sym) -> usize {
+    match f {
+        Formula::Atom(a) => {
+            let e = match a {
+                crate::formula::Atom::Le(e)
+                | crate::formula::Atom::Eq(e)
+                | crate::formula::Atom::Dvd(_, e) => e,
+            };
+            usize::from(e.mentions(x))
+        }
+        Formula::Not(g) => occurrence_weight(g, x),
+        Formula::And(fs) | Formula::Or(fs) => {
+            fs.iter().map(|g| occurrence_weight(g, x)).sum()
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinExpr;
+    use exo_core::sym::Sym;
+
+    #[test]
+    fn sat_and_valid_are_dual() {
+        let mut s = Solver::new();
+        let x = Sym::new("x");
+        let f = Formula::le(LinExpr::var(x), LinExpr::constant(0));
+        assert_eq!(s.check_sat(&f), Answer::Yes); // x = 0 works
+        assert_eq!(s.check_valid(&f), Answer::No); // x = 1 refutes
+    }
+
+    #[test]
+    fn entailment() {
+        let mut s = Solver::new();
+        let x = Sym::new("x");
+        // x ≥ 4 ⊢ x ≥ 2
+        let hyp = Formula::ge(LinExpr::var(x), LinExpr::constant(4));
+        let goal = Formula::ge(LinExpr::var(x), LinExpr::constant(2));
+        assert_eq!(s.check_entails(&hyp, &goal), Answer::Yes);
+        assert_eq!(s.check_entails(&goal, &hyp), Answer::No);
+    }
+
+    #[test]
+    fn cache_hits_count() {
+        let mut s = Solver::new();
+        let x = Sym::new("x");
+        let f = Formula::le(LinExpr::var(x), LinExpr::constant(0));
+        let _ = s.check_sat(&f);
+        let _ = s.check_sat(&f);
+        assert_eq!(s.stats().queries, 2);
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn work_limit_fails_safe() {
+        // a formula with many interacting divisibilities blows up; a tiny
+        // budget must yield Unknown, never a wrong answer
+        let mut s = Solver::with_limit(4);
+        let x = Sym::new("x");
+        let y = Sym::new("y");
+        let f = Formula::and(vec![
+            Formula::dvd(7, LinExpr::var(x).add(&LinExpr::scaled_var(3, y))),
+            Formula::dvd(11, LinExpr::var(x).sub(&LinExpr::scaled_var(5, y))),
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::le(LinExpr::var(x), LinExpr::constant(1000)),
+        ]);
+        assert_eq!(s.check_sat(&f), Answer::Unknown);
+        assert_eq!(s.stats().gave_up, 1);
+    }
+
+    #[test]
+    fn split_loop_bounds_query() {
+        // the guard condition produced by split-with-tail: the tail guard
+        // 16·io + ii < n is implied when io < n/16 (floor) and ii < 16 …
+        // only when 16 | n. Check both directions.
+        let mut s = Solver::new();
+        let io = Sym::new("io");
+        let ii = Sym::new("ii");
+        let n = Sym::new("n");
+        let hyp = Formula::and(vec![
+            Formula::ge(LinExpr::var(io), LinExpr::constant(0)),
+            Formula::lt(
+                LinExpr::scaled_var(16, io),
+                LinExpr::var(n),
+            ),
+            Formula::ge(LinExpr::var(ii), LinExpr::constant(0)),
+            Formula::lt(LinExpr::var(ii), LinExpr::constant(16)),
+            Formula::dvd(16, LinExpr::var(n)),
+        ]);
+        let goal = Formula::lt(
+            LinExpr::scaled_var(16, io).add(&LinExpr::var(ii)),
+            LinExpr::var(n),
+        );
+        assert_eq!(s.check_entails(&hyp, &goal), Answer::Yes);
+        // without the divisibility assumption the entailment fails
+        let hyp_weak = Formula::and(vec![
+            Formula::ge(LinExpr::var(io), LinExpr::constant(0)),
+            Formula::lt(LinExpr::scaled_var(16, io), LinExpr::var(n)),
+            Formula::ge(LinExpr::var(ii), LinExpr::constant(0)),
+            Formula::lt(LinExpr::var(ii), LinExpr::constant(16)),
+        ]);
+        assert_eq!(s.check_entails(&hyp_weak, &goal), Answer::No);
+    }
+}

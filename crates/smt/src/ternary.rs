@@ -1,0 +1,183 @@
+//! Kleene three-valued logic (paper §5.1).
+//!
+//! When extended with ⊥ ("unknown"), the booleans become a ternary logic
+//! that lets the effect analysis distinguish facts that *definitely* hold
+//! from facts that *maybe* hold. The collapsing operators `D p`
+//! ("definitely p") and `M p` ("maybe p") map back to classical logic.
+
+use std::fmt;
+use std::ops::{BitAnd, BitOr, Not};
+
+/// A three-valued truth value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TBool {
+    /// Definitely false.
+    False,
+    /// Unknown (⊥).
+    Unknown,
+    /// Definitely true.
+    True,
+}
+
+impl TBool {
+    /// Lifts a classical boolean.
+    pub fn from_bool(b: bool) -> TBool {
+        if b {
+            TBool::True
+        } else {
+            TBool::False
+        }
+    }
+
+    /// `D p` — "definitely p": true only when `p` is [`TBool::True`].
+    pub fn definitely(self) -> bool {
+        self == TBool::True
+    }
+
+    /// `M p` — "maybe p": true unless `p` is [`TBool::False`].
+    pub fn maybe(self) -> bool {
+        self != TBool::False
+    }
+
+    /// Whether the value is known (not ⊥).
+    pub fn is_known(self) -> bool {
+        self != TBool::Unknown
+    }
+
+    /// Kleene conjunction.
+    pub fn and(self, other: TBool) -> TBool {
+        use TBool::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, other: TBool) -> TBool {
+        use TBool::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Kleene negation.
+    pub fn negate(self) -> TBool {
+        use TBool::*;
+        match self {
+            True => False,
+            False => True,
+            Unknown => Unknown,
+        }
+    }
+
+    /// Kleene implication (`¬a ∨ b`).
+    pub fn implies(self, other: TBool) -> TBool {
+        self.negate().or(other)
+    }
+}
+
+impl From<bool> for TBool {
+    fn from(b: bool) -> TBool {
+        TBool::from_bool(b)
+    }
+}
+
+impl Not for TBool {
+    type Output = TBool;
+    fn not(self) -> TBool {
+        self.negate()
+    }
+}
+
+impl BitAnd for TBool {
+    type Output = TBool;
+    fn bitand(self, rhs: TBool) -> TBool {
+        self.and(rhs)
+    }
+}
+
+impl BitOr for TBool {
+    type Output = TBool;
+    fn bitor(self, rhs: TBool) -> TBool {
+        self.or(rhs)
+    }
+}
+
+impl fmt::Display for TBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TBool::True => "T",
+            TBool::False => "F",
+            TBool::Unknown => "⊥",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TBool::{self, *};
+
+    const ALL: [TBool; 3] = [False, Unknown, True];
+
+    #[test]
+    fn collapse_operators() {
+        assert!(True.definitely());
+        assert!(!Unknown.definitely());
+        assert!(!False.definitely());
+        assert!(True.maybe());
+        assert!(Unknown.maybe());
+        assert!(!False.maybe());
+    }
+
+    #[test]
+    fn kleene_and_truth_table() {
+        assert_eq!(True & True, True);
+        assert_eq!(True & Unknown, Unknown);
+        assert_eq!(False & Unknown, False);
+        assert_eq!(Unknown & Unknown, Unknown);
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        assert_eq!(False | False, False);
+        assert_eq!(True | Unknown, True);
+        assert_eq!(False | Unknown, Unknown);
+    }
+
+    #[test]
+    fn de_morgan_holds() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(!(a & b), !a | !b);
+                assert_eq!(!(a | b), !a & !b);
+            }
+        }
+    }
+
+    #[test]
+    fn negation_involutive() {
+        for a in ALL {
+            assert_eq!(!!a, a);
+        }
+    }
+
+    #[test]
+    fn implication() {
+        assert_eq!(False.implies(Unknown), True);
+        assert_eq!(True.implies(Unknown), Unknown);
+        assert_eq!(Unknown.implies(True), True);
+    }
+
+    #[test]
+    fn maybe_definitely_duality() {
+        // M p == ¬D(¬p)
+        for a in ALL {
+            assert_eq!(a.maybe(), !(!a).definitely());
+        }
+    }
+}

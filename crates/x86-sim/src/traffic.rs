@@ -1,0 +1,208 @@
+//! Cache-traffic estimation for blocked kernels.
+//!
+//! The Fig. 5 sweeps run at sizes where functional simulation is
+//! impractical, so memory behavior is computed with the standard
+//! footprint analysis of BLIS-style blocked GEMM: given the schedule's
+//! actual tile sizes, each buffer's traffic at each cache level follows
+//! from which loop level its working set becomes resident at.
+
+use crate::CoreModel;
+
+/// Bytes crossing each cache boundary during one kernel execution.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Traffic {
+    /// L2 → L1 bytes.
+    pub l2_bytes: u64,
+    /// L3 → L2 bytes.
+    pub l3_bytes: u64,
+    /// DRAM → L3 bytes.
+    pub mem_bytes: u64,
+}
+
+impl Traffic {
+    /// Sums two traffic estimates.
+    pub fn add(&self, o: &Traffic) -> Traffic {
+        Traffic {
+            l2_bytes: self.l2_bytes + o.l2_bytes,
+            l3_bytes: self.l3_bytes + o.l3_bytes,
+            mem_bytes: self.mem_bytes + o.mem_bytes,
+        }
+    }
+}
+
+/// The blocking structure of a BLIS-style GEMM schedule.
+///
+/// Loop order (outer→inner): `jc` over N by `nc`, `pc` over K by `kc`,
+/// `ic` over M by `mc`, `jr` over `nc` by `nr`, `ir` over `mc` by `mr`,
+/// microkernel `mr×nr` accumulating over `kc`.
+#[derive(Clone, Copy, Debug)]
+pub struct GemmBlocking {
+    /// Microkernel rows (register-blocked M).
+    pub mr: u64,
+    /// Microkernel columns (register-blocked N, multiple of 16).
+    pub nr: u64,
+    /// L2 block of M.
+    pub mc: u64,
+    /// L1/L2 block of K.
+    pub kc: u64,
+    /// L3 block of N.
+    pub nc: u64,
+    /// Whether operand panels are packed (contiguous) before use.
+    pub packed: bool,
+}
+
+const F32: u64 = 4;
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b.max(1))
+}
+
+/// Footprint-based traffic for one `M×N×K` GEMM under `b`'s blocking.
+pub fn gemm_traffic(m: u64, n: u64, k: u64, b: &GemmBlocking, core: &CoreModel) -> Traffic {
+    let rounds_n = ceil_div(n, b.nc);
+    let rounds_k = ceil_div(k, b.kc);
+    let rounds_m = ceil_div(m, b.mc);
+
+    // --- DRAM traffic ---
+    // A (M×K): reloaded once per jc round (panel packed into L2 per ic).
+    let mem_a = rounds_n * m * k * F32;
+    // B (K×N): each element enters once per (jc, pc) visit; if the kc×nc
+    // panel does not fit in L3 it is additionally re-fetched per ic.
+    let b_panel = b.kc.min(k) * b.nc.min(n) * F32;
+    let mem_b = if b_panel <= core.l3_bytes {
+        k * n * F32
+    } else {
+        rounds_m * k * n * F32
+    };
+    // C (M×N): read+written once per pc round (first round only writes).
+    let mem_c = (2 * rounds_k).saturating_sub(1) * m * n * F32;
+    let mem_bytes = mem_a + mem_b + mem_c;
+
+    // --- L3 → L2 ---
+    // the B panel streams from L3 into L2 once per ic block; A and C pass
+    // through.
+    let l3_b = rounds_m * k * n * F32;
+    let l3_bytes = l3_b + mem_a + mem_c;
+
+    // --- L2 → L1 ---
+    // the A mc×kc panel streams into L1 once per jr iteration; the B
+    // kc×nr micro-panel once per ir iteration. If the A panel exceeds L2,
+    // those streams come from L3 instead (penalize by counting them at
+    // both levels).
+    let jr_iters = rounds_n * rounds_k * rounds_m * ceil_div(b.nc.min(n), b.nr);
+    let a_panel_bytes = b.mc.min(m) * b.kc.min(k) * F32;
+    let l2_a = jr_iters * a_panel_bytes;
+    let ir_iters = jr_iters * ceil_div(b.mc.min(m), b.mr);
+    let b_micro_bytes = b.kc.min(k) * b.nr * F32;
+    let l2_b = ir_iters * b_micro_bytes;
+    // C tiles stream L1-resident per microkernel: mr×nr per (pc) round
+    let l2_c = ir_iters * b.mr * b.nr * F32 * 2;
+    let mut l2_bytes = l2_a + l2_b + l2_c;
+    let mut l3_bytes = l3_bytes;
+    if a_panel_bytes > core.l2_bytes {
+        // A panel thrashes L2: its per-jr streams hit L3
+        l3_bytes += l2_a;
+    }
+    if !b.packed {
+        // unpacked panels waste part of each cache line and TLB reach
+        l2_bytes = (l2_bytes as f64 * 1.15) as u64;
+    }
+    Traffic { l2_bytes, l3_bytes, mem_bytes }
+}
+
+/// Footprint-based traffic for a direct convolution
+/// `N×H×W×IC → N×OH×OW×OC` with an `KH×KW` kernel, output-channel
+/// vectorization and `ow_tile`-pixel register blocking; weights are
+/// streamed per pixel tile when they exceed L1.
+#[derive(Clone, Copy, Debug)]
+pub struct ConvShape {
+    /// Batch.
+    pub n: u64,
+    /// Output height.
+    pub oh: u64,
+    /// Output width.
+    pub ow: u64,
+    /// Input channels.
+    pub ic: u64,
+    /// Output channels.
+    pub oc: u64,
+    /// Kernel spatial size (square).
+    pub kh: u64,
+}
+
+/// Traffic for a direct conv with `ow_tile` output pixels per register
+/// block.
+pub fn conv_traffic(s: &ConvShape, ow_tile: u64, core: &CoreModel) -> Traffic {
+    let weight_bytes = s.oc * s.ic * s.kh * s.kh * F32;
+    let out_bytes = s.n * s.oh * s.ow * s.oc * F32;
+    let in_bytes = s.n * (s.oh + s.kh - 1) * (s.ow + s.kh - 1) * s.ic * F32;
+
+    // DRAM: everything once (weights fit L3 for these shapes; inputs are
+    // streamed; outputs written once)
+    let mem_bytes = weight_bytes + out_bytes + in_bytes;
+
+    // L2→L1: weights restream per pixel tile; inputs restream per
+    // oc-vector group
+    let pixel_tiles = ceil_div(s.n * s.oh * s.ow, ow_tile);
+    let l2_w = pixel_tiles * weight_bytes.min(core.l2_bytes);
+    let oc_groups = ceil_div(s.oc, crate::LANES);
+    let l2_in = oc_groups * in_bytes * s.kh; // each input row read per kh
+    let l2_bytes = l2_w + l2_in + 2 * out_bytes;
+
+    // L3→L2: weights restream per output row when they exceed L2
+    let l3_w = if weight_bytes > core.l2_bytes {
+        s.n * s.oh * weight_bytes
+    } else {
+        weight_bytes
+    };
+    let l3_bytes = l3_w + in_bytes + out_bytes;
+
+    Traffic { l2_bytes, l3_bytes, mem_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blis() -> GemmBlocking {
+        GemmBlocking { mr: 6, nr: 64, mc: 96, kc: 384, nc: 2048, packed: true }
+    }
+
+    #[test]
+    fn large_square_gemm_is_compute_bound() {
+        let core = CoreModel::tiger_lake();
+        let (m, n, k) = (1024, 1024, 1024);
+        let t = gemm_traffic(m, n, k, &blis(), &core);
+        let fma_cycles = (m * n * k) as f64 / 16.0; // 16 lanes, 1 fma/cycle
+        assert!((t.l2_bytes as f64 / core.l2_bw) < fma_cycles);
+        assert!((t.mem_bytes as f64 / core.mem_bw) < fma_cycles);
+    }
+
+    #[test]
+    fn tiny_kc_inflates_c_traffic() {
+        let core = CoreModel::tiger_lake();
+        let good = gemm_traffic(512, 512, 512, &blis(), &core);
+        let bad_blocking = GemmBlocking { kc: 16, ..blis() };
+        let bad = gemm_traffic(512, 512, 512, &bad_blocking, &core);
+        assert!(bad.mem_bytes > 4 * good.mem_bytes, "{bad:?} vs {good:?}");
+    }
+
+    #[test]
+    fn unpacked_panels_cost_more_l2() {
+        let core = CoreModel::tiger_lake();
+        let packed = gemm_traffic(512, 512, 512, &blis(), &core);
+        let unpacked = gemm_traffic(512, 512, 512, &GemmBlocking { packed: false, ..blis() }, &core);
+        assert!(unpacked.l2_bytes > packed.l2_bytes);
+        assert_eq!(unpacked.mem_bytes, packed.mem_bytes);
+    }
+
+    #[test]
+    fn conv_traffic_scales_with_batch() {
+        let core = CoreModel::tiger_lake();
+        let s1 = ConvShape { n: 1, oh: 80, ow: 100, ic: 128, oc: 128, kh: 3 };
+        let s5 = ConvShape { n: 5, ..s1 };
+        let t1 = conv_traffic(&s1, 8, &core);
+        let t5 = conv_traffic(&s5, 8, &core);
+        assert!(t5.mem_bytes > 4 * t1.mem_bytes);
+    }
+}

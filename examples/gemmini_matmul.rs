@@ -1,0 +1,68 @@
+//! The Gemmini MATMUL case study (§7.1) as a runnable example: schedule
+//! a naive i8 GEMM onto the Gemmini instruction library, show the
+//! resulting kernel and its hardware-instruction trace, and simulate its
+//! utilization against the handwritten-library baseline.
+//!
+//! ```sh
+//! cargo run --release --example gemmini_matmul
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use exo::hwlibs::GemminiLib;
+use exo::kernels::gemmini_gemm::{old_lib_matmul_trace, schedule_matmul, trace_matmul};
+use exo::sched::SchedState;
+use gemmini_sim::{SimConfig, Simulator};
+
+fn main() {
+    let lib = GemminiLib::new();
+    let state = Arc::new(Mutex::new(SchedState::default()));
+    let (n, m, k) = (256, 256, 256);
+
+    println!("scheduling a {n}x{m}x{k} i8 GEMM onto Gemmini…");
+    let p = schedule_matmul(&lib, &state, n, m, k).expect("the schedule is provably safe");
+    println!("{} scheduling directives applied", p.directives());
+    println!("polluted configuration fields: {:?}\n", p.polluted().len());
+
+    // show the top of the scheduled kernel
+    let shown = p.show();
+    println!("=== scheduled kernel (head) ===");
+    for line in shown.lines().take(18) {
+        println!("{line}");
+    }
+    println!("…\n");
+
+    // trace and simulate
+    let exo_trace = trace_matmul(p.proc(), n, m, k, false);
+    let old_trace = old_lib_matmul_trace(n, m, k);
+    let r_exo = Simulator::new(SimConfig::software()).run(&exo_trace);
+    let r_old = Simulator::new(SimConfig::software()).run(&old_trace);
+    let r_hw = Simulator::new(SimConfig::hardware_unroller()).run(&exo_trace);
+
+    println!("=== cycle-approximate simulation ===");
+    println!(
+        "Old-lib : {:>9} instrs, {:>4} flushes, {:>10} cycles, {:>5.1}% of peak",
+        r_old.instructions,
+        r_old.flushes,
+        r_old.cycles,
+        r_old.utilization * 100.0
+    );
+    println!(
+        "Exo-lib : {:>9} instrs, {:>4} flushes, {:>10} cycles, {:>5.1}% of peak",
+        r_exo.instructions,
+        r_exo.flushes,
+        r_exo.cycles,
+        r_exo.utilization * 100.0
+    );
+    println!(
+        "Hardware: {:>9} instrs, {:>4} flushes, {:>10} cycles, {:>5.1}% of peak",
+        r_exo.instructions,
+        r_hw.flushes,
+        r_hw.cycles,
+        r_hw.utilization * 100.0
+    );
+    println!(
+        "\nExo-lib beats the handwritten library by {:.1}x (paper §7.1: ~3.5x on average)",
+        r_exo.utilization / r_old.utilization
+    );
+}

@@ -1,0 +1,38 @@
+//! Using the textual front-end: define a hardware instruction and an
+//! application in surface syntax, schedule the application onto the
+//! instruction, and emit C.
+//!
+//! ```sh
+//! cargo run --example text_frontend
+//! ```
+
+use exo::front::{parse_library, ParseEnv};
+use exo::sched::Procedure;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = r#"
+@instr("vadd8({dst}.data, {a}.data, {b}.data);")
+def vadd8(a: [f32][8] @ DRAM, b: [f32][8] @ DRAM, dst: [f32][8] @ DRAM):
+    for l in seq(0, 8):
+        dst[l] = a[l] + b[l]
+
+@proc
+def add_arrays(n: size, x: f32[n], y: f32[n], out: f32[n]):
+    assert n % 8 == 0
+    for i in seq(0, n):
+        out[i] = x[i] + y[i]
+"#;
+    let procs = parse_library(src, &ParseEnv::new())?;
+    let vadd8 = &procs[0];
+    let app = Procedure::new(procs[1].clone());
+
+    // tile by the vector width, then select the instruction
+    let scheduled = app
+        .split("for i in _: _", 8, "io", "il")?
+        .replace("for il in _: _", vadd8)?;
+    println!("=== scheduled ===\n{}", scheduled.show());
+
+    let c = exo::codegen::compile_c(&[scheduled.proc().clone()], &Default::default())?;
+    println!("=== generated C ===\n{c}");
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! Property test: pretty-printing a procedure and re-parsing it yields
+//! an alpha-equivalent procedure (the printer emits the surface syntax
+//! the front-end accepts).
+
+use std::sync::Arc;
+
+use exo::core::visit::alpha_eq_proc;
+use exo::front::{parse_proc, ParseEnv};
+use exo::prelude::*;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum GenStmt {
+    Assign { two_d: bool, add: i64 },
+    Reduce { mul: i64 },
+    Guarded { threshold: i64 },
+    Alloc { len: i64 },
+    WindowAndUse { lo: i64 },
+    ConfigWrite { value: i64 },
+    Pass,
+}
+
+fn arb_stmt() -> impl Strategy<Value = GenStmt> {
+    prop_oneof![
+        (any::<bool>(), 0i64..4).prop_map(|(two_d, add)| GenStmt::Assign { two_d, add }),
+        (1i64..4).prop_map(|mul| GenStmt::Reduce { mul }),
+        (0i64..8).prop_map(|threshold| GenStmt::Guarded { threshold }),
+        (1i64..6).prop_map(|len| GenStmt::Alloc { len }),
+        (0i64..4).prop_map(|lo| GenStmt::WindowAndUse { lo }),
+        (0i64..100).prop_map(|value| GenStmt::ConfigWrite { value }),
+        Just(GenStmt::Pass),
+    ]
+}
+
+fn build_proc(stmts: &[GenStmt]) -> Arc<Proc> {
+    let mut b = ProcBuilder::new("generated");
+    let n = b.size("n");
+    b.assert_pred(Expr::var(n).le(Expr::int(8)));
+    let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
+    let m = b.tensor("m", DataType::F32, vec![Expr::int(8), Expr::int(8)]);
+    let cfg = Sym::new("Cfg");
+    let field = Sym::new("field");
+    let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+    for (idx, s) in stmts.iter().enumerate() {
+        match s {
+            GenStmt::Assign { two_d, add } => {
+                if *two_d {
+                    b.assign(
+                        m,
+                        vec![Expr::var(i), Expr::int(*add)],
+                        exo::core::build::read(m, vec![Expr::int(0), Expr::var(i)])
+                            .add(Expr::float(1.5)),
+                    );
+                } else {
+                    b.assign(
+                        x,
+                        vec![Expr::var(i).add(Expr::int(*add))],
+                        Expr::float(*add as f64),
+                    );
+                }
+            }
+            GenStmt::Reduce { mul } => {
+                b.reduce(
+                    x,
+                    vec![Expr::var(i)],
+                    exo::core::build::read(x, vec![Expr::var(i)]).mul(Expr::float(*mul as f64)),
+                );
+            }
+            GenStmt::Guarded { threshold } => {
+                b.begin_if(Expr::var(i).lt(Expr::int(*threshold)));
+                b.assign(x, vec![Expr::var(i)], Expr::float(0.0));
+                b.begin_else();
+                b.stmt(Stmt::Pass);
+                b.end_if();
+            }
+            GenStmt::Alloc { len } => {
+                let t = b.alloc(&format!("t{idx}"), DataType::F32, vec![Expr::int(*len)], MemName::dram());
+                b.assign(t, vec![Expr::int(0)], Expr::float(1.0));
+            }
+            GenStmt::WindowAndUse { lo } => {
+                let w = b.window(
+                    &format!("w{idx}"),
+                    m,
+                    vec![
+                        exo::core::WAccess::Point(Expr::int(*lo)),
+                        exo::core::WAccess::Interval(Expr::int(*lo), Expr::int(lo + 4)),
+                    ],
+                );
+                b.assign(w, vec![Expr::int(1)], Expr::float(3.0));
+            }
+            GenStmt::ConfigWrite { value } => {
+                b.write_config(cfg, field, Expr::int(*value));
+            }
+            GenStmt::Pass => {
+                b.stmt(Stmt::Pass);
+            }
+        }
+    }
+    b.end_for();
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn print_parse_roundtrip(stmts in proptest::collection::vec(arb_stmt(), 1..6)) {
+        let original = build_proc(&stmts);
+        let printed = exo::core::printer::proc_to_string(&original);
+        let reparsed = parse_proc(&printed, &ParseEnv::new())
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n--- printed ---\n{printed}"));
+        prop_assert!(
+            alpha_eq_proc(&original, &reparsed),
+            "round-trip not alpha-equivalent\n--- printed ---\n{}\n--- reprinted ---\n{}",
+            printed,
+            exo::core::printer::proc_to_string(&reparsed)
+        );
+    }
+
+    #[test]
+    fn roundtrip_preserves_semantics(stmts in proptest::collection::vec(arb_stmt(), 1..6)) {
+        let original = build_proc(&stmts);
+        let printed = exo::core::printer::proc_to_string(&original);
+        let Ok(reparsed) = parse_proc(&printed, &ParseEnv::new()) else {
+            return Err(TestCaseError::fail("reparse failed"));
+        };
+        let run = |proc: &Proc| {
+            let mut machine = Machine::new();
+            let x = machine.alloc_extern("x", DataType::F32, &[16], &vec![1.0; 16]);
+            let m = machine.alloc_extern("m", DataType::F32, &[8, 8], &vec![2.0; 64]);
+            machine
+                .run(proc, &[ArgVal::Int(8), ArgVal::Tensor(x), ArgVal::Tensor(m)])
+                .map(|_| {
+                    let mut out = machine.buffer_values(x).unwrap();
+                    out.extend(machine.buffer_values(m).unwrap());
+                    out
+                })
+        };
+        match (run(&original), run(&reparsed)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {} // both fail identically (e.g. OOB generator)
+            (a, b) =>
+
+                return Err(TestCaseError::fail(format!(
+                    "divergent outcomes: {a:?} vs {b:?}"
+                ))),
+        }
+    }
+}

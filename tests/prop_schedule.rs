@@ -1,0 +1,199 @@
+//! Property-based testing of the scheduling system: random programs,
+//! random sequences of scheduling directives — every directive the
+//! system *accepts* must preserve the program's observable behavior on
+//! random inputs. Rejected directives are fine (the system is allowed to
+//! be conservative); silently changing semantics is the bug class this
+//! hunts.
+
+use std::sync::Arc;
+
+use exo::prelude::*;
+use exo::core::build::read;
+use proptest::prelude::*;
+
+/// A tiny random program over two 1-D buffers and one 2-D buffer.
+#[derive(Clone, Debug)]
+struct RandProgram {
+    stmts: Vec<RandStmt>,
+}
+
+#[derive(Clone, Debug)]
+enum RandStmt {
+    /// `for i in 0..8: X[f(i)] (=|+=) g(i)` over selected buffers
+    Loop { dst: u8, src: u8, reduce: bool, scale: i64, offset: i64 },
+    /// 2-D loop nest writing the matrix buffer
+    Loop2 { reduce: bool, transpose: bool },
+}
+
+fn arb_program() -> impl Strategy<Value = RandProgram> {
+    let stmt = prop_oneof![
+        (0u8..2, 0u8..2, any::<bool>(), 1i64..3, 0i64..8).prop_map(
+            |(dst, src, reduce, scale, offset)| RandStmt::Loop {
+                dst,
+                src,
+                reduce,
+                scale,
+                offset
+            }
+        ),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(reduce, transpose)| RandStmt::Loop2 { reduce, transpose }),
+    ];
+    proptest::collection::vec(stmt, 1..4).prop_map(|stmts| RandProgram { stmts })
+}
+
+/// Builds the IR for a random program. Buffers: x[16], y[16], m[8][8].
+fn build(p: &RandProgram) -> Arc<Proc> {
+    let mut b = ProcBuilder::new("randprog");
+    let bufs = [
+        b.tensor("x", DataType::F32, vec![Expr::int(16)]),
+        b.tensor("y", DataType::F32, vec![Expr::int(16)]),
+    ];
+    let mat = b.tensor("m", DataType::F32, vec![Expr::int(8), Expr::int(8)]);
+    for s in &p.stmts {
+        match s {
+            RandStmt::Loop { dst, src, reduce, scale, offset } => {
+                let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+                // dst[i+offset'] op= src[(i*scale) % 16-safe]
+                let didx = Expr::var(i).add(Expr::int(*offset));
+                let sidx = Expr::var(i).mul(Expr::int(*scale)).rem(Expr::int(16));
+                let rhs = read(bufs[*src as usize], vec![sidx]).add(Expr::float(1.0));
+                if *reduce {
+                    b.reduce(bufs[*dst as usize], vec![didx], rhs);
+                } else {
+                    b.assign(bufs[*dst as usize], vec![didx], rhs);
+                }
+                b.end_for();
+            }
+            RandStmt::Loop2 { reduce, transpose } => {
+                let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+                let j = b.begin_for("j", Expr::int(0), Expr::int(8));
+                let (r, c) = if *transpose {
+                    (Expr::var(j), Expr::var(i))
+                } else {
+                    (Expr::var(i), Expr::var(j))
+                };
+                let rhs = read(mat, vec![Expr::var(i), Expr::var(j)]).mul(Expr::float(0.5));
+                if *reduce {
+                    b.reduce(mat, vec![r, c], rhs);
+                } else {
+                    // avoid self-racing transposed writes reading the same
+                    // cell: write a constant instead
+                    let rhs = if *transpose { Expr::float(2.0) } else { rhs };
+                    b.assign(mat, vec![r, c], rhs);
+                }
+                b.end_for().end_for();
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A random scheduling directive to attempt.
+#[derive(Clone, Debug)]
+enum Directive {
+    Split(u8, i64),
+    SplitGuard(u8, i64),
+    Reorder,
+    FissionAfterFirst,
+    ReorderStmts,
+    PartitionLoop(u8, i64),
+    Unroll(u8),
+    BindExpr,
+    Simplify,
+}
+
+fn arb_directive() -> impl Strategy<Value = Directive> {
+    prop_oneof![
+        (0u8..2, prop_oneof![Just(2i64), Just(4)]).prop_map(|(w, c)| Directive::Split(w, c)),
+        (0u8..2, 2i64..6).prop_map(|(w, c)| Directive::SplitGuard(w, c)),
+        Just(Directive::Reorder),
+        Just(Directive::FissionAfterFirst),
+        Just(Directive::ReorderStmts),
+        (0u8..2, 1i64..7).prop_map(|(w, c)| Directive::PartitionLoop(w, c)),
+        (0u8..2).prop_map(Directive::Unroll),
+        Just(Directive::BindExpr),
+        Just(Directive::Simplify),
+    ]
+}
+
+fn apply(p: &Procedure, d: &Directive) -> Option<Procedure> {
+    let loop_pat = |w: u8| if w == 0 { "for i in _: _" } else { "for j in _: _" };
+    match d {
+        Directive::Split(w, c) => p.split(loop_pat(*w), *c, "so", "si").ok(),
+        Directive::SplitGuard(w, c) => p.split_guard(loop_pat(*w), *c, "go", "gi").ok(),
+        Directive::Reorder => p.reorder("for i in _: _", "j").ok(),
+        Directive::FissionAfterFirst => {
+            for pat in ["x[_] = _", "y[_] = _", "x[_] += _", "y[_] += _", "m[_,_] = _"] {
+                if let Ok(q) = p.fission_after(pat) {
+                    return Some(q);
+                }
+            }
+            None
+        }
+        Directive::ReorderStmts => {
+            for pat in ["for i in _: _", "x[_] = _", "y[_] += _"] {
+                if let Ok(q) = p.reorder_stmts(pat) {
+                    return Some(q);
+                }
+            }
+            None
+        }
+        Directive::PartitionLoop(w, c) => p.partition_loop(loop_pat(*w), *c).ok(),
+        Directive::Unroll(w) => p.unroll(loop_pat(*w)).ok(),
+        Directive::BindExpr => {
+            for (spat, epat) in [("x[_] = _", "x[_]"), ("y[_] += _", "y[_]"), ("m[_,_] = _", "m[_]")] {
+                if let Ok(q) = p.bind_expr(spat, epat, "bound") {
+                    return Some(q);
+                }
+            }
+            None
+        }
+        Directive::Simplify => Some(p.simplify()),
+    }
+}
+
+fn run_program(proc: &Proc, seed: u64) -> Result<Vec<f64>, exo::interp::InterpError> {
+    let mut m = Machine::new();
+    let init = |n: usize, s: u64| -> Vec<f64> {
+        (0..n).map(|i| (((i as u64 * 7 + s * 13) % 11) as f64) - 5.0).collect()
+    };
+    let x = m.alloc_extern("x", DataType::F32, &[16], &init(16, seed));
+    let y = m.alloc_extern("y", DataType::F32, &[16], &init(16, seed + 1));
+    let mat = m.alloc_extern("m", DataType::F32, &[8, 8], &init(64, seed + 2));
+    m.run(proc, &[ArgVal::Tensor(x), ArgVal::Tensor(y), ArgVal::Tensor(mat)])?;
+    let mut out = m.buffer_values(x)?;
+    out.extend(m.buffer_values(y)?);
+    out.extend(m.buffer_values(mat)?);
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn accepted_schedules_preserve_semantics(
+        prog in arb_program(),
+        directives in proptest::collection::vec(arb_directive(), 1..6),
+        seed in 0u64..1000,
+    ) {
+        let original = build(&prog);
+        // the generator can produce out-of-bounds programs (offsets);
+        // skip those — we only care about valid programs
+        let mut scheduled = Procedure::new(original.clone());
+        if run_program(&original, seed).is_err() {
+            return Ok(());
+        }
+        let mut applied = Vec::new();
+        for d in &directives {
+            if let Some(q) = apply(&scheduled, d) {
+                applied.push(format!("{d:?}"));
+                scheduled = q;
+            }
+        }
+        let want = run_program(&original, seed).expect("checked above");
+        let got = run_program(scheduled.proc(), seed)
+            .unwrap_or_else(|e| panic!("scheduled program failed ({applied:?}): {e}"));
+        prop_assert_eq!(want, got, "directives applied: {:?}\n{}", applied, scheduled.show());
+    }
+}
