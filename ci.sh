@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the tier-1 gate. Fully offline.
+# EXO_CI_FULL=1 additionally runs the whole-workspace test suite
+# (integration + simulator + bench crates; several minutes).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+if [[ "${EXO_CI_FULL:-0}" == "1" ]]; then
+    echo "== full: cargo test --workspace -q =="
+    cargo test --workspace -q
+fi
+
+echo "CI OK"

@@ -53,6 +53,7 @@ impl<'a> Checker<'a> {
     }
 
     fn require(&mut self, goal: EffExpr, what: impl Fn() -> String) {
+        exo_obs::counter_add("analysis.bounds.obligations", 1);
         let mut ctx = LowerCtx::new();
         let hyp = self.assume_formula(&mut ctx);
         let g = ctx.lower_bool(&goal).definitely();
@@ -129,11 +130,7 @@ impl<'a> Checker<'a> {
                     self.assumptions.pop();
                     // conservative join
                     self.genv = saved_genv;
-                    let after = val_g_block(
-                        std::slice::from_ref(s),
-                        self.genv.clone(),
-                        self.reg,
-                    );
+                    let after = val_g_block(std::slice::from_ref(s), self.genv.clone(), self.reg);
                     self.genv = after;
                 }
                 Stmt::For { iter, lo, hi, body } => {
@@ -149,11 +146,7 @@ impl<'a> Checker<'a> {
                     self.genv = loop_open_env(saved_genv.clone(), body, *iter, self.reg);
                     self.check_block(body);
                     self.assumptions.pop();
-                    self.genv = val_g_block(
-                        std::slice::from_ref(s),
-                        saved_genv,
-                        self.reg,
-                    );
+                    self.genv = val_g_block(std::slice::from_ref(s), saved_genv, self.reg);
                 }
                 Stmt::Alloc { name, shape, .. } => {
                     let se: Vec<EffExpr> = shape.iter().map(|e| self.lift(e)).collect();
@@ -193,10 +186,9 @@ impl<'a> Checker<'a> {
             match c {
                 WAccess::Point(p) => {
                     let pe = self.lift(p);
-                    self.require(
-                        EffExpr::Int(0).le(pe.clone()).and(pe.lt(n.clone())),
-                        || format!("window point access of {buf} out of bounds in dim {d}"),
-                    );
+                    self.require(EffExpr::Int(0).le(pe.clone()).and(pe.lt(n.clone())), || {
+                        format!("window point access of {buf} out of bounds in dim {d}")
+                    });
                 }
                 WAccess::Interval(lo, hi) => {
                     let lo_e = self.lift(lo);
@@ -208,11 +200,7 @@ impl<'a> Checker<'a> {
                             .and(hi_e.clone().le(n.clone())),
                         || format!("window interval of {buf} out of bounds in dim {d}"),
                     );
-                    out.push(EffExpr::bin(
-                        exo_core::BinOp::Sub,
-                        hi_e,
-                        lo_e,
-                    ));
+                    out.push(EffExpr::bin(exo_core::BinOp::Sub, hi_e, lo_e));
                 }
             }
         }
@@ -273,12 +261,7 @@ impl<'a> Checker<'a> {
     }
 }
 
-fn loop_open_env(
-    entry: GlobalEnv,
-    body: &Block,
-    iter: Sym,
-    reg: &mut GlobalReg,
-) -> GlobalEnv {
+fn loop_open_env(entry: GlobalEnv, body: &Block, iter: Sym, reg: &mut GlobalReg) -> GlobalEnv {
     let after = val_g_block(body, entry.clone(), reg);
     let mut out = entry.clone();
     let keys: Vec<(Sym, Sym)> = after.touched().copied().collect();
@@ -338,7 +321,10 @@ pub fn check_bounds(
         genv: GlobalEnv::identity(),
         errors: Vec::new(),
     };
+    let mut span = exo_obs::Span::enter("analysis.check_bounds")
+        .with_field("proc", exo_obs::Json::Str(proc.name.to_string()));
     checker.check_block(&proc.body);
+    span.field("errors", exo_obs::Json::uint(checker.errors.len() as u64));
     if checker.errors.is_empty() {
         Ok(())
     } else {

@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use exo_core::Sym;
 use exo_smt::formula::Formula;
 
-use crate::effexpr::{EffExpr, LowerCtx};
 use crate::effects::Effect;
+use crate::effexpr::{EffExpr, LowerCtx};
 use crate::locset::{member, sets_of, LocSet, SetBundle, Target};
 
 /// Builds `∀ shared targets. ¬(M(t ∈ a) ∧ M(t ∈ b))` — the sets are
@@ -27,10 +27,15 @@ pub fn disjoint(a: &LocSet, b: &LocSet, ctx: &mut LowerCtx) -> Formula {
 
     let mut parts = Vec::new();
     for (&buf, &rank_a) in &bufs_a {
-        let Some(&rank_b) = bufs_b.get(&buf) else { continue };
+        let Some(&rank_b) = bufs_b.get(&buf) else {
+            continue;
+        };
         let rank = rank_a.max(rank_b);
         let coords: Vec<Sym> = (0..rank).map(|d| Sym::new(format!("pt{d}"))).collect();
-        let tgt = Target::Buf { buf, coords: coords.clone() };
+        let tgt = Target::Buf {
+            buf,
+            coords: coords.clone(),
+        };
         let ma = member(a, &tgt, ctx);
         let mb = member(b, &tgt, ctx);
         let mut f = Formula::and(vec![ma.maybe(), mb.maybe()]).negate();
@@ -84,14 +89,16 @@ pub fn shadows(a1: &Effect, a2: &Effect, ctx: &mut LowerCtx) -> Formula {
     let mut parts = Vec::new();
     for (&buf, &rank) in &bufs {
         let coords: Vec<Sym> = (0..rank).map(|d| Sym::new(format!("sh{d}"))).collect();
-        let tgt = Target::Buf { buf, coords: coords.clone() };
+        let tgt = Target::Buf {
+            buf,
+            coords: coords.clone(),
+        };
         let m_mod = member(&m1, &tgt, ctx);
         let m_rd = member(&rd2, &tgt, ctx);
         let m_wr = member(&wr2, &tgt, ctx);
-        let mut f = m_mod.maybe().implies(Formula::and(vec![
-            m_rd.maybe().negate(),
-            m_wr.definitely(),
-        ]));
+        let mut f = m_mod
+            .maybe()
+            .implies(Formula::and(vec![m_rd.maybe().negate(), m_wr.definitely()]));
         for c in coords.into_iter().rev() {
             f = f.forall(c);
         }
@@ -102,17 +109,20 @@ pub fn shadows(a1: &Effect, a2: &Effect, ctx: &mut LowerCtx) -> Formula {
         let m_mod = member(&m1, &tgt, ctx);
         let m_rd = member(&rd2, &tgt, ctx);
         let m_wr = member(&wr2, &tgt, ctx);
-        parts.push(m_mod.maybe().implies(Formula::and(vec![
-            m_rd.maybe().negate(),
-            m_wr.definitely(),
-        ])));
+        parts.push(
+            m_mod
+                .maybe()
+                .implies(Formula::and(vec![m_rd.maybe().negate(), m_wr.definitely()])),
+        );
     }
     Formula::and(parts)
 }
 
 /// Ternary in-bounds predicate `Bd(x) = lo ≤ x < hi`.
 pub fn bd(var: Sym, lo: &EffExpr, hi: &EffExpr) -> EffExpr {
-    lo.clone().le(EffExpr::Var(var)).and(EffExpr::Var(var).lt(hi.clone()))
+    lo.clone()
+        .le(EffExpr::Var(var))
+        .and(EffExpr::Var(var).lt(hi.clone()))
 }
 
 /// Condition for reordering two perfectly nested loops
@@ -141,7 +151,9 @@ pub fn loop_reorder(
     map.insert(y, EffExpr::Var(y2));
     let body2 = body.subst(&map);
     let bd2 = bd(x2, x_bounds.0, x_bounds.1).and(bd(y2, y_bounds.0, y_bounds.1));
-    let order = EffExpr::Var(x).lt(EffExpr::Var(x2)).and(EffExpr::Var(y2).lt(EffExpr::Var(y)));
+    let order = EffExpr::Var(x)
+        .lt(EffExpr::Var(x2))
+        .and(EffExpr::Var(y2).lt(EffExpr::Var(y)));
     let hyp = ctx.lower_bool(&bd_xy.and(bd2).and(order)).maybe();
     let c2 = hyp.implies(commutes(body, &body2, ctx));
 
@@ -186,7 +198,10 @@ pub fn loop_remove(
     body: &Effect,
     ctx: &mut LowerCtx,
 ) -> Formula {
-    let d_bd = ctx.lower_bool(&bd(x, bounds.0, bounds.1)).definitely().exists(x);
+    let d_bd = ctx
+        .lower_bool(&bd(x, bounds.0, bounds.1))
+        .definitely()
+        .exists(x);
     Formula::and(vec![d_bd, shadows(body, body, ctx)])
 }
 

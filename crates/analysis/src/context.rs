@@ -13,8 +13,8 @@ use exo_core::path::{PathStep, StmtPath};
 use exo_core::Sym;
 use exo_smt::formula::Formula;
 
-use crate::effexpr::{EffExpr, LowerCtx};
 use crate::effects::{effect_of_block, Effect, ExtractCtx, SymView};
+use crate::effexpr::{EffExpr, LowerCtx};
 use crate::globals::{lift_in_env, val_g_block, GlobalEnv, GlobalReg};
 
 /// An enclosing loop binder with its (dataflow-lifted) bounds.
@@ -95,14 +95,23 @@ pub fn site_ctx(proc: &Proc, path: &StmtPath, reg: &mut GlobalReg) -> Option<Sit
         genv = val_g_block(preceding, genv, reg);
         let stmt = block.get(idx)?;
         if depth + 1 == steps.len() {
-            return Some(SiteCtx { binders, guards, genv, preds });
+            return Some(SiteCtx {
+                binders,
+                guards,
+                genv,
+                preds,
+            });
         }
         // descend
         match (stmt, steps[depth + 1].block) {
             (Stmt::For { iter, lo, hi, body }, 0) => {
                 let lo_e = lift_in_env(lo, &genv, reg);
                 let hi_e = lift_in_env(hi, &genv, reg);
-                binders.push(Binder { var: *iter, lo: lo_e, hi: hi_e });
+                binders.push(Binder {
+                    var: *iter,
+                    lo: lo_e,
+                    hi: hi_e,
+                });
                 // entering a loop body mid-iteration: fields possibly
                 // modified by the body (or iteration-dependent) are ⊥
                 genv = loop_entry_env(genv, body, *iter, reg);
@@ -182,7 +191,7 @@ fn collect_post(
         }
     }
     // later siblings in this block
-    if idx + 1 <= block.len() {
+    if idx < block.len() {
         out.push(effect_of_stmts(proc, &block[idx + 1..], reg));
     }
 }
@@ -210,18 +219,20 @@ fn seed_views(block: &Block, ctx: &mut ExtractCtx<'_>) {
     for s in block {
         match s {
             Stmt::Alloc { name, shape, .. } => {
-                ctx.views.insert(*name, SymView::identity(*name, shape.len()));
+                ctx.views
+                    .insert(*name, SymView::identity(*name, shape.len()));
             }
-            Stmt::WindowDef { name, rhs } => {
-                if let Expr::Window { buf, coords } = rhs {
-                    let base = ctx
-                        .views
-                        .get(buf)
-                        .cloned()
-                        .unwrap_or_else(|| SymView::identity(*buf, coords.len()));
-                    let v = base.window(coords, ctx);
-                    ctx.views.insert(*name, v);
-                }
+            Stmt::WindowDef {
+                name,
+                rhs: Expr::Window { buf, coords },
+            } => {
+                let base = ctx
+                    .views
+                    .get(buf)
+                    .cloned()
+                    .unwrap_or_else(|| SymView::identity(*buf, coords.len()));
+                let v = base.window(coords, ctx);
+                ctx.views.insert(*name, v);
             }
             Stmt::For { body, .. } => seed_views(body, ctx),
             Stmt::If { body, orelse, .. } => {
@@ -253,11 +264,7 @@ pub fn context_extension_ok(
     let mut ctx = LowerCtx::new();
     let mut parts = Vec::new();
     for &(c, f) in polluted {
-        let m = crate::locset::member(
-            &sets.rd_g,
-            &crate::locset::Target::Global(c, f),
-            &mut ctx,
-        );
+        let m = crate::locset::member(&sets.rd_g, &crate::locset::Target::Global(c, f), &mut ctx);
         parts.push(m.maybe().negate());
     }
     let goal = ctx.assumptions().implies(Formula::and(parts));
@@ -335,7 +342,13 @@ mod tests {
         let mut b = ProcBuilder::new("p");
         let a = b.tensor("A", DataType::F32, vec![Expr::int(2)]);
         b.stmt(Stmt::Pass);
-        b.begin_if(Expr::ReadConfig { config: c, field: f }.eq(Expr::int(0)));
+        b.begin_if(
+            Expr::ReadConfig {
+                config: c,
+                field: f,
+            }
+            .eq(Expr::int(0)),
+        );
         b.assign(a, vec![Expr::int(0)], Expr::float(1.0));
         b.end_if();
         let p = b.finish();

@@ -12,7 +12,7 @@ use exo_core::ir::{ArgType, Expr, Proc, Stmt, WAccess};
 use exo_core::visit;
 use exo_core::Sym;
 
-use crate::effexpr::{EffExpr};
+use crate::effexpr::EffExpr;
 use crate::globals::{lift_in_env, GlobalEnv, GlobalReg};
 
 /// Effects, as in paper Def. 5.4 (with loop bounds attached to `Loop` so
@@ -95,12 +95,8 @@ impl Effect {
             }
             Effect::GlobalRead(c, f) => Effect::GlobalRead(*c, *f),
             Effect::GlobalWrite(c, f) => Effect::GlobalWrite(*c, *f),
-            Effect::Read(b, idx) => {
-                Effect::Read(*b, idx.iter().map(|e| e.subst(map)).collect())
-            }
-            Effect::Write(b, idx) => {
-                Effect::Write(*b, idx.iter().map(|e| e.subst(map)).collect())
-            }
+            Effect::Read(b, idx) => Effect::Read(*b, idx.iter().map(|e| e.subst(map)).collect()),
+            Effect::Write(b, idx) => Effect::Write(*b, idx.iter().map(|e| e.subst(map)).collect()),
             Effect::Reduce(b, idx) => {
                 Effect::Reduce(*b, idx.iter().map(|e| e.subst(map)).collect())
             }
@@ -133,13 +129,18 @@ impl SymView {
     pub fn identity(buf: Sym, rank: usize) -> SymView {
         SymView {
             buf,
-            axes: (0..rank).map(|d| AxisMap::Axis(d, EffExpr::Int(0))).collect(),
+            axes: (0..rank)
+                .map(|d| AxisMap::Axis(d, EffExpr::Int(0)))
+                .collect(),
         }
     }
 
     /// Number of retained (walked) dimensions.
     pub fn rank(&self) -> usize {
-        self.axes.iter().filter(|a| matches!(a, AxisMap::Axis(..))).count()
+        self.axes
+            .iter()
+            .filter(|a| matches!(a, AxisMap::Axis(..)))
+            .count()
     }
 
     /// Translates view coordinates into root-buffer coordinates.
@@ -171,26 +172,27 @@ impl SymView {
         for a in &self.axes {
             match a {
                 AxisMap::Fixed(e) => new_axes.push(AxisMap::Fixed(e.clone())),
-                AxisMap::Axis(k, off) => {
-                    match per_axis.get(*k).copied().flatten() {
-                        Some(WAccess::Point(p)) => {
-                            let pe = env.lift_ctrl(p);
-                            new_axes.push(AxisMap::Fixed(off.clone().add(pe)));
-                        }
-                        Some(WAccess::Interval(lo, _hi)) => {
-                            let le = env.lift_ctrl(lo);
-                            new_axes.push(AxisMap::Axis(next_axis, off.clone().add(le)));
-                            next_axis += 1;
-                        }
-                        None => {
-                            new_axes.push(AxisMap::Axis(next_axis, off.clone()));
-                            next_axis += 1;
-                        }
+                AxisMap::Axis(k, off) => match per_axis.get(*k).copied().flatten() {
+                    Some(WAccess::Point(p)) => {
+                        let pe = env.lift_ctrl(p);
+                        new_axes.push(AxisMap::Fixed(off.clone().add(pe)));
                     }
-                }
+                    Some(WAccess::Interval(lo, _hi)) => {
+                        let le = env.lift_ctrl(lo);
+                        new_axes.push(AxisMap::Axis(next_axis, off.clone().add(le)));
+                        next_axis += 1;
+                    }
+                    None => {
+                        new_axes.push(AxisMap::Axis(next_axis, off.clone()));
+                        next_axis += 1;
+                    }
+                },
             }
         }
-        SymView { buf: self.buf, axes: new_axes }
+        SymView {
+            buf: self.buf,
+            axes: new_axes,
+        }
     }
 }
 
@@ -224,7 +226,12 @@ impl<'a> ExtractCtx<'a> {
                 ArgType::Ctrl(_) => {}
             }
         }
-        ExtractCtx { ctrl: HashMap::new(), views, genv: GlobalEnv::identity(), reg }
+        ExtractCtx {
+            ctrl: HashMap::new(),
+            views,
+            genv: GlobalEnv::identity(),
+            reg,
+        }
     }
 
     fn lift_ctrl(&mut self, e: &Expr) -> EffExpr {
@@ -272,14 +279,22 @@ fn effect_of_stmt(
             let coords: Vec<EffExpr> = idx.iter().map(|e| ctx.lift_ctrl(e)).collect();
             let rd = effect_of_data_expr(rhs, ctx);
             let idx_rd = effect_of_index_reads(idx, ctx);
-            Effect::seq_all(vec![rd, idx_rd, Effect::Write(view.buf, view.translate(&coords))])
+            Effect::seq_all(vec![
+                rd,
+                idx_rd,
+                Effect::Write(view.buf, view.translate(&coords)),
+            ])
         }
         Stmt::Reduce { buf, idx, rhs } => {
             let view = ctx.view_of(*buf);
             let coords: Vec<EffExpr> = idx.iter().map(|e| ctx.lift_ctrl(e)).collect();
             let rd = effect_of_data_expr(rhs, ctx);
             let idx_rd = effect_of_index_reads(idx, ctx);
-            Effect::seq_all(vec![rd, idx_rd, Effect::Reduce(view.buf, view.translate(&coords))])
+            Effect::seq_all(vec![
+                rd,
+                idx_rd,
+                Effect::Reduce(view.buf, view.translate(&coords)),
+            ])
         }
         Stmt::WriteConfig { config, field, rhs } => {
             let rd = effect_of_ctrl_expr(rhs, ctx);
@@ -307,10 +322,7 @@ fn effect_of_stmt(
         Stmt::For { iter, lo, hi, body } => {
             let lo_e = ctx.lift_ctrl(lo);
             let hi_e = ctx.lift_ctrl(hi);
-            let bound_rd = Effect::seq(
-                effect_of_ctrl_expr(lo, ctx),
-                effect_of_ctrl_expr(hi, ctx),
-            );
+            let bound_rd = Effect::seq(effect_of_ctrl_expr(lo, ctx), effect_of_ctrl_expr(hi, ctx));
             // within the body the iteration variable is free (bound by the
             // Loop node); remove any outer substitution for it
             let prev = ctx.ctrl.remove(iter);
@@ -323,7 +335,12 @@ fn effect_of_stmt(
             }
             Effect::seq(
                 bound_rd,
-                Effect::Loop { var: *iter, lo: lo_e, hi: hi_e, body: Box::new(body_e) },
+                Effect::Loop {
+                    var: *iter,
+                    lo: lo_e,
+                    hi: hi_e,
+                    body: Box::new(body_e),
+                },
             )
         }
         Stmt::Alloc { name, .. } => {
@@ -444,10 +461,9 @@ fn effect_of_window_reads(coords: &[WAccess], ctx: &mut ExtractCtx<'_>) -> Effec
             .iter()
             .map(|c| match c {
                 WAccess::Point(p) => effect_of_ctrl_expr(p, ctx),
-                WAccess::Interval(lo, hi) => Effect::seq(
-                    effect_of_ctrl_expr(lo, ctx),
-                    effect_of_ctrl_expr(hi, ctx),
-                ),
+                WAccess::Interval(lo, hi) => {
+                    Effect::seq(effect_of_ctrl_expr(lo, ctx), effect_of_ctrl_expr(hi, ctx))
+                }
             })
             .collect(),
     )
@@ -476,10 +492,9 @@ fn effect_of_data_expr(e: &Expr, ctx: &mut ExtractCtx<'_>) -> Effect {
                 Effect::Read(view.buf, view.translate(&coords)),
             )
         }
-        Expr::BinOp(_, a, b) => Effect::seq(
-            effect_of_data_expr(a, ctx),
-            effect_of_data_expr(b, ctx),
-        ),
+        Expr::BinOp(_, a, b) => {
+            Effect::seq(effect_of_data_expr(a, ctx), effect_of_data_expr(b, ctx))
+        }
         Expr::Neg(a) => effect_of_data_expr(a, ctx),
         Expr::BuiltIn { args, .. } => {
             Effect::seq_all(args.iter().map(|a| effect_of_data_expr(a, ctx)).collect())
@@ -490,6 +505,9 @@ fn effect_of_data_expr(e: &Expr, ctx: &mut ExtractCtx<'_>) -> Effect {
 
 /// Extracts the effect of a whole procedure body.
 pub fn effect_of_proc(proc: &Proc, reg: &mut GlobalReg) -> Effect {
+    let _span = exo_obs::Span::enter("analysis.effect_of_proc")
+        .with_field("proc", exo_obs::Json::Str(proc.name.to_string()));
+    exo_obs::counter_add("analysis.effect_passes", 1);
     let mut ctx = ExtractCtx::for_proc(proc, reg);
     effect_of_block(&proc.body, &mut ctx)
 }
@@ -610,13 +628,24 @@ mod tests {
         let mut b = ProcBuilder::new("p");
         let a = b.tensor("A", DataType::F32, vec![Expr::int(4)]);
         b.write_config(c, f, Expr::int(1));
-        b.assign(a, vec![Expr::ReadConfig { config: c, field: f }], Expr::float(0.0));
+        b.assign(
+            a,
+            vec![Expr::ReadConfig {
+                config: c,
+                field: f,
+            }],
+            Expr::float(0.0),
+        );
         let p = b.finish();
         let mut reg = GlobalReg::new();
         match effect_of_proc(&p, &mut reg) {
             Effect::Seq(parts) => {
-                assert!(parts.iter().any(|e| matches!(e, Effect::GlobalWrite(cc, ff) if *cc == c && *ff == f)));
-                assert!(parts.iter().any(|e| matches!(e, Effect::GlobalRead(cc, ff) if *cc == c && *ff == f)));
+                assert!(parts
+                    .iter()
+                    .any(|e| matches!(e, Effect::GlobalWrite(cc, ff) if *cc == c && *ff == f)));
+                assert!(parts
+                    .iter()
+                    .any(|e| matches!(e, Effect::GlobalRead(cc, ff) if *cc == c && *ff == f)));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -631,7 +660,14 @@ mod tests {
         let mut b = ProcBuilder::new("p");
         let a = b.tensor("A", DataType::F32, vec![Expr::int(4)]);
         b.write_config(c, f, Expr::int(3));
-        b.assign(a, vec![Expr::ReadConfig { config: c, field: f }], Expr::float(0.0));
+        b.assign(
+            a,
+            vec![Expr::ReadConfig {
+                config: c,
+                field: f,
+            }],
+            Expr::float(0.0),
+        );
         let p = b.finish();
         let mut reg = GlobalReg::new();
         match effect_of_proc(&p, &mut reg) {

@@ -79,6 +79,7 @@ impl EffExpr {
     }
 
     /// `a + b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: EffExpr) -> EffExpr {
         EffExpr::bin(BinOp::Add, self, rhs)
     }
@@ -191,7 +192,10 @@ pub struct LBool {
 impl LBool {
     /// A known boolean.
     pub fn known(val: Formula) -> LBool {
-        LBool { def: Formula::True, val }
+        LBool {
+            def: Formula::True,
+            val,
+        }
     }
 
     /// `D p` — definitely true.
@@ -212,7 +216,10 @@ impl LBool {
             Formula::and(vec![self.def.clone(), self.val.clone().negate()]),
             Formula::and(vec![other.def.clone(), other.val.clone().negate()]),
         ]);
-        LBool { def, val: Formula::and(vec![self.val.clone(), other.val.clone()]) }
+        LBool {
+            def,
+            val: Formula::and(vec![self.val.clone(), other.val.clone()]),
+        }
     }
 
     /// Kleene disjunction.
@@ -222,12 +229,18 @@ impl LBool {
             Formula::and(vec![self.def.clone(), self.val.clone()]),
             Formula::and(vec![other.def.clone(), other.val.clone()]),
         ]);
-        LBool { def, val: Formula::or(vec![self.val.clone(), other.val.clone()]) }
+        LBool {
+            def,
+            val: Formula::or(vec![self.val.clone(), other.val.clone()]),
+        }
     }
 
     /// Kleene negation.
     pub fn negate(&self) -> LBool {
-        LBool { def: self.def.clone(), val: self.val.clone().negate() }
+        LBool {
+            def: self.def.clone(),
+            val: self.val.clone().negate(),
+        }
     }
 }
 
@@ -285,19 +298,34 @@ impl LowerCtx {
     /// Lowers an integer-sorted effect expression.
     pub fn lower_int(&mut self, e: &EffExpr) -> LInt {
         match e {
-            EffExpr::Var(x) => LInt { def: Formula::True, val: LinExpr::var(*x) },
-            EffExpr::Int(v) => LInt { def: Formula::True, val: LinExpr::constant(*v) },
+            EffExpr::Var(x) => LInt {
+                def: Formula::True,
+                val: LinExpr::var(*x),
+            },
+            EffExpr::Int(v) => LInt {
+                def: Formula::True,
+                val: LinExpr::constant(*v),
+            },
             EffExpr::Stride(b, d) => {
                 let v = self.stride_var(*b, *d);
-                LInt { def: Formula::True, val: LinExpr::var(v) }
+                LInt {
+                    def: Formula::True,
+                    val: LinExpr::var(v),
+                }
             }
             EffExpr::Unknown => {
                 let v = self.fresh("unk");
-                LInt { def: Formula::False, val: LinExpr::var(v) }
+                LInt {
+                    def: Formula::False,
+                    val: LinExpr::var(v),
+                }
             }
             EffExpr::Neg(a) => {
                 let a = self.lower_int(a);
-                LInt { def: a.def, val: a.val.scale(-1) }
+                LInt {
+                    def: a.def,
+                    val: a.val.scale(-1),
+                }
             }
             EffExpr::Bin(op, a, b) => self.lower_int_bin(*op, a, b),
             EffExpr::Ite(c, t, f) => {
@@ -309,12 +337,8 @@ impl LowerCtx {
                 self.side.push(Formula::and(vec![
                     Formula::and(vec![c.def.clone(), c.val.clone(), t.def.clone()])
                         .implies(Formula::eq(vv.clone(), t.val.clone())),
-                    Formula::and(vec![
-                        c.def.clone(),
-                        c.val.clone().negate(),
-                        f.def.clone(),
-                    ])
-                    .implies(Formula::eq(vv.clone(), f.val.clone())),
+                    Formula::and(vec![c.def.clone(), c.val.clone().negate(), f.def.clone()])
+                        .implies(Formula::eq(vv.clone(), f.val.clone())),
                 ]));
                 let def = Formula::and(vec![
                     c.def.clone(),
@@ -328,7 +352,10 @@ impl LowerCtx {
             // boolean-sorted in an int position: treat as unknown (sound)
             EffExpr::Bool(_) | EffExpr::BoolVar(_) | EffExpr::Not(_) => {
                 let v = self.fresh("sortmix");
-                LInt { def: Formula::False, val: LinExpr::var(v) }
+                LInt {
+                    def: Formula::False,
+                    val: LinExpr::var(v),
+                }
             }
         }
     }
@@ -338,23 +365,41 @@ impl LowerCtx {
         let lb = self.lower_int(b);
         let def = Formula::and(vec![la.def.clone(), lb.def.clone()]);
         match op {
-            BinOp::Add => LInt { def, val: la.val.add(&lb.val) },
-            BinOp::Sub => LInt { def, val: la.val.sub(&lb.val) },
+            BinOp::Add => LInt {
+                def,
+                val: la.val.add(&lb.val),
+            },
+            BinOp::Sub => LInt {
+                def,
+                val: la.val.sub(&lb.val),
+            },
             BinOp::Mul => {
                 if let Some(c) = la.val.as_constant() {
-                    LInt { def, val: lb.val.scale(c) }
+                    LInt {
+                        def,
+                        val: lb.val.scale(c),
+                    }
                 } else if let Some(c) = lb.val.as_constant() {
-                    LInt { def, val: la.val.scale(c) }
+                    LInt {
+                        def,
+                        val: la.val.scale(c),
+                    }
                 } else {
                     // non-affine: unknown (front-end checks prevent this)
                     let v = self.fresh("nonaffine");
-                    LInt { def: Formula::False, val: LinExpr::var(v) }
+                    LInt {
+                        def: Formula::False,
+                        val: LinExpr::var(v),
+                    }
                 }
             }
             BinOp::Div | BinOp::Mod => {
                 let Some(c) = lb.val.as_constant().filter(|&c| c > 0) else {
                     let v = self.fresh("nonconst_div");
-                    return LInt { def: Formula::False, val: LinExpr::var(v) };
+                    return LInt {
+                        def: Formula::False,
+                        val: LinExpr::var(v),
+                    };
                 };
                 let q = self.fresh("q");
                 let qv = LinExpr::var(q);
@@ -365,12 +410,18 @@ impl LowerCtx {
                 ])));
                 match op {
                     BinOp::Div => LInt { def, val: qv },
-                    _ => LInt { def, val: la.val.sub(&qv.scale(c)) },
+                    _ => LInt {
+                        def,
+                        val: la.val.sub(&qv.scale(c)),
+                    },
                 }
             }
             _ => {
                 let v = self.fresh("boolop_int");
-                LInt { def: Formula::False, val: LinExpr::var(v) }
+                LInt {
+                    def: Formula::False,
+                    val: LinExpr::var(v),
+                }
             }
         }
     }
@@ -388,7 +439,10 @@ impl LowerCtx {
                 ]));
                 LBool::known(Formula::eq(xv, LinExpr::constant(1)))
             }
-            EffExpr::Unknown => LBool { def: Formula::False, val: Formula::True },
+            EffExpr::Unknown => LBool {
+                def: Formula::False,
+                val: Formula::True,
+            },
             EffExpr::Not(a) => self.lower_bool(a).negate(),
             EffExpr::Bin(BinOp::And, a, b) => {
                 let la = self.lower_bool(a);
@@ -401,7 +455,10 @@ impl LowerCtx {
                 la.or(&lb)
             }
             EffExpr::Bin(op, a, b)
-                if matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) =>
+                if matches!(
+                    op,
+                    BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+                ) =>
             {
                 // boolean equality between boolean-sorted operands is
                 // lowered as iff; otherwise integer comparison
@@ -449,7 +506,10 @@ impl LowerCtx {
                 LBool { def, val }
             }
             // integer-sorted in bool position: unknown
-            _ => LBool { def: Formula::False, val: Formula::True },
+            _ => LBool {
+                def: Formula::False,
+                val: Formula::True,
+            },
         }
     }
 }
@@ -477,17 +537,15 @@ mod tests {
     fn division_lowering_is_exact() {
         // (x·16 + 5) / 16 == x under the side constraints
         let x = Sym::new("x");
-        let e = EffExpr::Var(x)
-            .add(EffExpr::Int(0))
-            .eq(EffExpr::bin(
-                BinOp::Div,
-                EffExpr::bin(
-                    BinOp::Add,
-                    EffExpr::bin(BinOp::Mul, EffExpr::Var(x), EffExpr::Int(16)),
-                    EffExpr::Int(5),
-                ),
-                EffExpr::Int(16),
-            ));
+        let e = EffExpr::Var(x).add(EffExpr::Int(0)).eq(EffExpr::bin(
+            BinOp::Div,
+            EffExpr::bin(
+                BinOp::Add,
+                EffExpr::bin(BinOp::Mul, EffExpr::Var(x), EffExpr::Int(16)),
+                EffExpr::Int(5),
+            ),
+            EffExpr::Int(16),
+        ));
         let mut ctx = LowerCtx::new();
         let lb = ctx.lower_bool(&e);
         let mut solver = Solver::new();

@@ -33,7 +33,10 @@ impl GlobalReg {
     /// first use) and whether it is boolean-sorted.
     pub fn canon(&mut self, config: Sym, field: Sym) -> (Sym, bool) {
         *self.canon.entry((config, field)).or_insert_with(|| {
-            (Sym::new(format!("{}_{}", config.name(), field.name())), false)
+            (
+                Sym::new(format!("{}_{}", config.name(), field.name())),
+                false,
+            )
         })
     }
 
@@ -134,11 +137,9 @@ impl GlobalEnv {
 pub fn lift_in_env(e: &Expr, env: &GlobalEnv, reg: &mut GlobalReg) -> EffExpr {
     match e {
         Expr::ReadConfig { config, field } => env.value(*config, *field, reg),
-        Expr::BinOp(op, a, b) => EffExpr::bin(
-            *op,
-            lift_in_env(a, env, reg),
-            lift_in_env(b, env, reg),
-        ),
+        Expr::BinOp(op, a, b) => {
+            EffExpr::bin(*op, lift_in_env(a, env, reg), lift_in_env(b, env, reg))
+        }
         Expr::Neg(a) => EffExpr::Neg(Box::new(lift_in_env(a, env, reg))),
         other => lift(other, reg),
     }
@@ -172,6 +173,7 @@ fn val_g_stmt(s: &Stmt, env: GlobalEnv, reg: &mut GlobalReg) -> GlobalEnv {
             // loop heuristic: one symbolic pass over the body starting from
             // the loop-entry environment; any field whose value changes (or
             // depends on the iteration variable) becomes ⊥, others persist.
+            exo_obs::counter_add("analysis.valg.loop_passes", 1);
             let body_env = val_g_block(body, env.clone(), reg);
             let mut out = env;
             for &(c, f) in body_env.vals.keys().collect::<Vec<_>>() {
@@ -311,7 +313,15 @@ mod tests {
         let (c, f) = cfg();
         let mut b = ProcBuilder::new("p");
         let _i = b.begin_for("i", Expr::int(0), Expr::int(8));
-        b.write_config(c, f, Expr::ReadConfig { config: c, field: f }.add(Expr::int(1)));
+        b.write_config(
+            c,
+            f,
+            Expr::ReadConfig {
+                config: c,
+                field: f,
+            }
+            .add(Expr::int(1)),
+        );
         b.end_for();
         let p = b.finish();
         let mut reg = GlobalReg::new();

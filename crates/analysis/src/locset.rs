@@ -13,8 +13,8 @@ use exo_core::Sym;
 use exo_smt::formula::Formula;
 use exo_smt::linear::LinExpr;
 
-use crate::effexpr::{EffExpr, LBool, LowerCtx};
 use crate::effects::Effect;
+use crate::effexpr::{EffExpr, LBool, LowerCtx};
 
 /// A symbolic set of store locations.
 #[derive(Clone, PartialEq, Debug)]
@@ -95,11 +95,7 @@ impl LocSet {
 
     /// Collects every buffer mentioned, with the maximum coordinate rank
     /// seen, and every global mentioned.
-    pub fn collect_targets(
-        &self,
-        bufs: &mut HashMap<Sym, usize>,
-        globals: &mut Vec<(Sym, Sym)>,
-    ) {
+    pub fn collect_targets(&self, bufs: &mut HashMap<Sym, usize>, globals: &mut Vec<(Sym, Sym)>) {
         match self {
             LocSet::Empty => {}
             LocSet::BufPoint { buf, idx } => {
@@ -111,9 +107,7 @@ impl LocSet {
                     globals.push((*c, *f));
                 }
             }
-            LocSet::Union(parts) => {
-                parts.iter().for_each(|p| p.collect_targets(bufs, globals))
-            }
+            LocSet::Union(parts) => parts.iter().for_each(|p| p.collect_targets(bufs, globals)),
             LocSet::BigUnion { body, .. } | LocSet::Filter(_, body) => {
                 body.collect_targets(bufs, globals)
             }
@@ -150,7 +144,10 @@ pub fn member(set: &LocSet, target: &Target, ctx: &mut LowerCtx) -> LBool {
                 if coords.len() != idx.len() {
                     // rank mismatch on same buffer: treat as unknown
                     // membership (should not happen for well-typed code)
-                    return LBool { def: Formula::False, val: Formula::True };
+                    return LBool {
+                        def: Formula::False,
+                        val: Formula::True,
+                    };
                 }
                 let mut def = Vec::new();
                 let mut val = Vec::new();
@@ -159,7 +156,10 @@ pub fn member(set: &LocSet, target: &Target, ctx: &mut LowerCtx) -> LBool {
                     def.push(li.def);
                     val.push(Formula::eq(li.val, LinExpr::var(*c)));
                 }
-                LBool { def: Formula::and(def), val: Formula::and(val) }
+                LBool {
+                    def: Formula::and(def),
+                    val: Formula::and(val),
+                }
             }
             _ => LBool::known(Formula::False),
         },
@@ -217,23 +217,20 @@ pub fn subst_set(set: &LocSet, map: &HashMap<Sym, EffExpr>) -> LocSet {
             idx: idx.iter().map(|e| e.subst(map)).collect(),
         },
         LocSet::Global(c, f) => LocSet::Global(*c, *f),
-        LocSet::Union(parts) => {
-            LocSet::Union(parts.iter().map(|p| subst_set(p, map)).collect())
-        }
+        LocSet::Union(parts) => LocSet::Union(parts.iter().map(|p| subst_set(p, map)).collect()),
         LocSet::BigUnion { var, body } => {
             let mut inner = map.clone();
             inner.remove(var);
-            LocSet::BigUnion { var: *var, body: Box::new(subst_set(body, &inner)) }
+            LocSet::BigUnion {
+                var: *var,
+                body: Box::new(subst_set(body, &inner)),
+            }
         }
-        LocSet::Filter(c, body) => {
-            LocSet::Filter(c.subst(map), Box::new(subst_set(body, map)))
-        }
+        LocSet::Filter(c, body) => LocSet::Filter(c.subst(map), Box::new(subst_set(body, map))),
         LocSet::Diff(a, b) => {
             LocSet::Diff(Box::new(subst_set(a, map)), Box::new(subst_set(b, map)))
         }
-        LocSet::DiffBufs(a, bufs) => {
-            LocSet::DiffBufs(Box::new(subst_set(a, map)), bufs.clone())
-        }
+        LocSet::DiffBufs(a, bufs) => LocSet::DiffBufs(Box::new(subst_set(a, map)), bufs.clone()),
     }
 }
 
@@ -324,11 +321,9 @@ pub fn sets_of(effect: &Effect) -> SetBundle {
                 Box::new(lo.clone().le(EffExpr::Var(*var))),
                 Box::new(EffExpr::Var(*var).lt(hi.clone())),
             );
-            let wrap = |s: LocSet| {
-                LocSet::BigUnion {
-                    var: *var,
-                    body: Box::new(LocSet::filter(bound.clone(), s)),
-                }
+            let wrap = |s: LocSet| LocSet::BigUnion {
+                var: *var,
+                body: Box::new(LocSet::filter(bound.clone(), s)),
             };
             SetBundle {
                 rd_g: wrap(b.rd_g),
@@ -348,18 +343,30 @@ pub fn sets_of(effect: &Effect) -> SetBundle {
             ..SetBundle::empty()
         },
         Effect::Read(b, idx) => SetBundle {
-            rd_h: LocSet::BufPoint { buf: *b, idx: idx.clone() },
+            rd_h: LocSet::BufPoint {
+                buf: *b,
+                idx: idx.clone(),
+            },
             ..SetBundle::empty()
         },
         Effect::Write(b, idx) => SetBundle {
-            wr_h: LocSet::BufPoint { buf: *b, idx: idx.clone() },
+            wr_h: LocSet::BufPoint {
+                buf: *b,
+                idx: idx.clone(),
+            },
             ..SetBundle::empty()
         },
         Effect::Reduce(b, idx) => SetBundle {
-            rp_h: LocSet::BufPoint { buf: *b, idx: idx.clone() },
+            rp_h: LocSet::BufPoint {
+                buf: *b,
+                idx: idx.clone(),
+            },
             ..SetBundle::empty()
         },
-        Effect::Alloc(b) => SetBundle { allocs: vec![*b], ..SetBundle::empty() },
+        Effect::Alloc(b) => SetBundle {
+            allocs: vec![*b],
+            ..SetBundle::empty()
+        },
     }
 }
 
@@ -384,7 +391,14 @@ fn seq_bundles(a1: SetBundle, a2: SetBundle) -> SetBundle {
     let rp_h = LocSet::union(vec![a1.rp_h, mask(a2.rp_h)]);
     let mut allocs = a1.allocs;
     allocs.extend(a2.allocs);
-    SetBundle { rd_g, wr_g, rd_h, wr_h, rp_h, allocs }
+    SetBundle {
+        rd_g,
+        wr_g,
+        rd_h,
+        wr_h,
+        rp_h,
+        allocs,
+    }
 }
 
 #[cfg(test)]
@@ -400,26 +414,35 @@ mod tests {
     #[test]
     fn point_membership() {
         let b = Sym::new("A");
-        let set = LocSet::BufPoint { buf: b, idx: vec![EffExpr::Int(3)] };
+        let set = LocSet::BufPoint {
+            buf: b,
+            idx: vec![EffExpr::Int(3)],
+        };
         let c = Sym::new("c");
-        let tgt = Target::Buf { buf: b, coords: vec![c] };
+        let tgt = Target::Buf {
+            buf: b,
+            coords: vec![c],
+        };
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
         // membership holds exactly when c == 3
         let mut s = Solver::new();
         let is_three = Formula::eq(LinExpr::var(c), LinExpr::constant(3));
-        assert_eq!(
-            s.check_valid(&m.definitely().iff(is_three)),
-            Answer::Yes
-        );
+        assert_eq!(s.check_valid(&m.definitely().iff(is_three)), Answer::Yes);
     }
 
     #[test]
     fn different_buffers_never_member() {
         let a = Sym::new("A");
         let b = Sym::new("B");
-        let set = LocSet::BufPoint { buf: a, idx: vec![EffExpr::Int(0)] };
-        let tgt = Target::Buf { buf: b, coords: vec![Sym::new("c")] };
+        let set = LocSet::BufPoint {
+            buf: a,
+            idx: vec![EffExpr::Int(0)],
+        };
+        let tgt = Target::Buf {
+            buf: b,
+            coords: vec![Sym::new("c")],
+        };
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
         assert_eq!(m.val, Formula::False);
@@ -433,7 +456,9 @@ mod tests {
         let set = LocSet::BigUnion {
             var: i,
             body: Box::new(LocSet::filter(
-                EffExpr::Int(0).le(EffExpr::Var(i)).and(EffExpr::Var(i).lt(EffExpr::Int(4))),
+                EffExpr::Int(0)
+                    .le(EffExpr::Var(i))
+                    .and(EffExpr::Var(i).lt(EffExpr::Int(4))),
                 LocSet::BufPoint {
                     buf: a,
                     idx: vec![EffExpr::bin(
@@ -445,7 +470,10 @@ mod tests {
             )),
         };
         let c = Sym::new("c");
-        let tgt = Target::Buf { buf: a, coords: vec![c] };
+        let tgt = Target::Buf {
+            buf: a,
+            coords: vec![c],
+        };
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
         let mut s = Solver::new();
@@ -468,10 +496,16 @@ mod tests {
         let a = Sym::new("A");
         let set = LocSet::filter(
             EffExpr::Unknown,
-            LocSet::BufPoint { buf: a, idx: vec![EffExpr::Int(0)] },
+            LocSet::BufPoint {
+                buf: a,
+                idx: vec![EffExpr::Int(0)],
+            },
         );
         let c = Sym::new("c");
-        let tgt = Target::Buf { buf: a, coords: vec![c] };
+        let tgt = Target::Buf {
+            buf: a,
+            coords: vec![c],
+        };
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
         // at c = 0: not definitely in, but maybe in
@@ -495,10 +529,24 @@ mod tests {
         // t's read is masked (it is a fresh allocation); A's read is not
         let ct = Sym::new("ct");
         let mut ctx = LowerCtx::new();
-        let m_t = member(&sets.rd(), &Target::Buf { buf: t, coords: vec![ct] }, &mut ctx);
+        let m_t = member(
+            &sets.rd(),
+            &Target::Buf {
+                buf: t,
+                coords: vec![ct],
+            },
+            &mut ctx,
+        );
         assert_eq!(solve_valid(&ctx, m_t.maybe().negate()), Answer::Yes);
         let ca = Sym::new("ca");
-        let m_a = member(&sets.rd(), &Target::Buf { buf: a, coords: vec![ca] }, &mut ctx);
+        let m_a = member(
+            &sets.rd(),
+            &Target::Buf {
+                buf: a,
+                coords: vec![ca],
+            },
+            &mut ctx,
+        );
         let at0 = m_a.definitely().subst(ca, &LinExpr::constant(0));
         assert_eq!(solve_valid(&ctx, at0), Answer::Yes);
     }
@@ -516,9 +564,20 @@ mod tests {
         let sets = sets_of(&eff);
         let c = Sym::new("c");
         let mut ctx = LowerCtx::new();
-        let m = member(&sets.rd(), &Target::Buf { buf: a, coords: vec![c] }, &mut ctx);
+        let m = member(
+            &sets.rd(),
+            &Target::Buf {
+                buf: a,
+                coords: vec![c],
+            },
+            &mut ctx,
+        );
         let at0 = m.maybe().subst(c, &LinExpr::constant(0)).negate();
-        assert_eq!(solve_valid(&ctx, at0), Answer::Yes, "read of A[0] is masked");
+        assert_eq!(
+            solve_valid(&ctx, at0),
+            Answer::Yes,
+            "read of A[0] is masked"
+        );
         let at1 = m.definitely().subst(c, &LinExpr::constant(1));
         assert_eq!(solve_valid(&ctx, at1), Answer::Yes, "read of A[1] remains");
     }
@@ -530,9 +589,23 @@ mod tests {
         let sets = sets_of(&eff);
         let c = Sym::new("c");
         let mut ctx = LowerCtx::new();
-        let mw = member(&sets.wr(), &Target::Buf { buf: a, coords: vec![c] }, &mut ctx);
+        let mw = member(
+            &sets.wr(),
+            &Target::Buf {
+                buf: a,
+                coords: vec![c],
+            },
+            &mut ctx,
+        );
         assert_eq!(solve_valid(&ctx, mw.maybe().negate()), Answer::Yes);
-        let mr = member(&sets.rplus(), &Target::Buf { buf: a, coords: vec![c] }, &mut ctx);
+        let mr = member(
+            &sets.rplus(),
+            &Target::Buf {
+                buf: a,
+                coords: vec![c],
+            },
+            &mut ctx,
+        );
         let at0 = mr.definitely().subst(c, &LinExpr::constant(0));
         assert_eq!(solve_valid(&ctx, at0), Answer::Yes);
     }

@@ -1,7 +1,9 @@
 //! Ablation: the paper's 6×64 x86 microkernel against alternative
 //! register-blocking choices, on a large square SGEMM.
 
+use exo_bench::write_bench_json;
 use exo_kernels::x86_gemm::GemmStrategy;
+use exo_obs::Json;
 use x86_sim::traffic::GemmBlocking;
 use x86_sim::CoreModel;
 
@@ -12,21 +14,50 @@ fn main() {
         "{:<10} {:>14} {:>14} {:>14}",
         "mr x nr", "1536^3", "8192x32x512", "32x8192x512"
     );
-    for (mr, nr) in [(6u64, 64u64), (4, 64), (8, 48), (12, 32), (2, 64), (1, 64), (24, 16)] {
+    let mut records = Vec::new();
+    for (mr, nr) in [
+        (6u64, 64u64),
+        (4, 64),
+        (8, 48),
+        (12, 32),
+        (2, 64),
+        (1, 64),
+        (24, 16),
+    ] {
         let strat = GemmStrategy {
             name: "ablate",
             kernels: vec![(mr, nr)],
-            blocking: GemmBlocking { mr, nr, mc: 96, kc: 384, nc: 2048, packed: false },
+            blocking: GemmBlocking {
+                mr,
+                nr,
+                mc: 96,
+                kc: 384,
+                nc: 2048,
+                packed: false,
+            },
         };
+        let square = strat.gflops(1536, 1536, 1536, &core);
+        let wide = strat.gflops(8192, 32, 512, &core);
+        let tall = strat.gflops(32, 8192, 512, &core);
         println!(
             "{:<10} {:>14.1} {:>14.1} {:>14.1}",
             format!("{mr} x {nr}"),
-            strat.gflops(1536, 1536, 1536, &core),
-            strat.gflops(8192, 32, 512, &core),
-            strat.gflops(32, 8192, 512, &core),
+            square,
+            wide,
+            tall,
         );
+        records.push(Json::obj(vec![
+            ("type".into(), Json::Str("microkernel_row".into())),
+            ("mr".into(), Json::uint(mr)),
+            ("nr".into(), Json::uint(nr)),
+            ("gflops_1536_cube".into(), Json::Float(square)),
+            ("gflops_8192x32x512".into(), Json::Float(wide)),
+            ("gflops_32x8192x512".into(), Json::Float(tall)),
+        ]));
     }
     println!();
     println!("the paper's 6x64 is at the top on squares; skinny shapes need the");
     println!("specialized kernels an MKL-like family provides (Fig. 5b)");
+    write_bench_json("ablation_microkernel", &records)
+        .expect("write BENCH_ablation_microkernel.json");
 }

@@ -4,10 +4,21 @@
 //! scheduled order vs sorted-by-kind order (all loads, then all
 //! computes, then all stores — zero overlap).
 
-use exo_bench::fresh_state;
+use exo_bench::{fresh_state, solver_stats_json, write_bench_json};
 use exo_hwlibs::GemminiLib;
 use exo_kernels::gemmini_gemm::{schedule_matmul, trace_matmul};
+use exo_obs::Json;
 use gemmini_sim::{SimConfig, Simulator};
+
+fn labeled(label: &str, report: Json) -> Json {
+    match report {
+        Json::Obj(mut fields) => {
+            fields.push(("variant".into(), Json::Str(label.into())));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
 
 fn main() {
     let lib = GemminiLib::new();
@@ -41,4 +52,10 @@ fn main() {
         "interleaving the schedule is worth {:.2}x",
         r_serial.cycles as f64 / r_sched.cycles as f64
     );
+    let records = vec![
+        labeled("scheduled", r_sched.to_json()),
+        labeled("phase_sorted", r_serial.to_json()),
+        solver_stats_json(&st),
+    ];
+    write_bench_json("ablation_overlap", &records).expect("write BENCH_ablation_overlap.json");
 }

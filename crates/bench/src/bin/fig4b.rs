@@ -1,7 +1,9 @@
 //! Reproduces paper Fig. 4b: Gemmini CONV utilization on three
 //! ResNet-50 convolution shapes.
 
-use exo_bench::{fig4b_row, fig4b_shapes, fresh_state, print_util_table};
+use exo_bench::{
+    fig4b_row, fig4b_shapes, fresh_state, print_util_table, solver_stats_json, write_bench_json,
+};
 use exo_hwlibs::GemminiLib;
 
 fn main() {
@@ -18,4 +20,7 @@ fn main() {
     println!();
     println!("paper reference: Exo ≈ 2.9x Old-lib; Exo ≈ 79% of Hardware;");
     println!("paper series: Old-lib 25-27%, Exo-lib 71-78%, Hardware 91-95%");
+    let mut records: Vec<_> = rows.iter().map(|r| r.to_json()).collect();
+    records.push(solver_stats_json(&state));
+    write_bench_json("fig4b", &records).expect("write BENCH_fig4b.json");
 }

@@ -3,16 +3,36 @@
 //! the paper; MKL/oneDNN/Gemmini-lib sources are not redistributable),
 //! algorithm lines, and scheduling directives.
 
-use exo_bench::fresh_state;
+use exo_bench::{fresh_state, solver_stats_json, write_bench_json};
 use exo_codegen::compile_c;
 use exo_hwlibs::{Avx512Lib, GemminiLib};
 use exo_kernels::gemmini_conv::{naive_conv, schedule_conv, ConvShape};
 use exo_kernels::gemmini_gemm::{naive_matmul, schedule_matmul};
 use exo_kernels::x86_conv::{naive_conv_f32, schedule_conv_avx512};
 use exo_kernels::x86_gemm::{naive_sgemm, schedule_sgemm};
+use exo_obs::Json;
 
 fn loc(text: &str) -> usize {
     text.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+fn codesize_row(
+    app: &str,
+    platform: &str,
+    c_gen: usize,
+    c_ref: u64,
+    alg: usize,
+    sched: usize,
+) -> Json {
+    Json::obj(vec![
+        ("type".into(), Json::Str("codesize_row".into())),
+        ("app".into(), Json::Str(app.into())),
+        ("platform".into(), Json::Str(platform.into())),
+        ("c_gen".into(), Json::uint(c_gen as u64)),
+        ("c_ref".into(), Json::uint(c_ref)),
+        ("alg".into(), Json::uint(alg as u64)),
+        ("sched".into(), Json::uint(sched as u64)),
+    ])
 }
 
 fn main() {
@@ -25,6 +45,7 @@ fn main() {
         "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}",
         "App.", "Platform", "C(gen)", "C(ref)", "Alg.", "Sched."
     );
+    let mut records = Vec::new();
 
     // MATMUL on Gemmini (paper row: 462 / 313 / 23 / 43)
     {
@@ -32,15 +53,24 @@ fn main() {
         let naive = naive_matmul(512, 512, 512);
         let p = schedule_matmul(&glib, &st, 512, 512, 512).expect("schedule");
         let c = compile_c(&[p.proc().clone()], &glib.codegen_ctx()).expect("codegen");
+        let (c_gen, alg) = (loc(&c), loc(&exo_core::printer::proc_to_string(&naive)));
         println!(
             "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 462 / 313 / 23 / 43)",
             "MATMUL",
             "Gemmini",
-            loc(&c),
+            c_gen,
             313,
-            loc(&exo_core::printer::proc_to_string(&naive)),
+            alg,
             p.directives()
         );
+        records.push(codesize_row(
+            "MATMUL",
+            "Gemmini",
+            c_gen,
+            313,
+            alg,
+            p.directives(),
+        ));
     }
 
     // CONV on Gemmini (paper row: 8317 / 450 / 26 / 44)
@@ -50,15 +80,24 @@ fn main() {
         let naive = naive_conv(&s);
         let p = schedule_conv(&glib, &st, &s).expect("schedule");
         let c = compile_c(&[p.proc().clone()], &glib.codegen_ctx()).expect("codegen");
+        let (c_gen, alg) = (loc(&c), loc(&exo_core::printer::proc_to_string(&naive)));
         println!(
             "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 8317 / 450 / 26 / 44)",
             "CONV",
             "Gemmini",
-            loc(&c),
+            c_gen,
             450,
-            loc(&exo_core::printer::proc_to_string(&naive)),
+            alg,
             p.directives()
         );
+        records.push(codesize_row(
+            "CONV",
+            "Gemmini",
+            c_gen,
+            450,
+            alg,
+            p.directives(),
+        ));
     }
 
     // SGEMM on x86 (paper row: 846 / >1690 / 11 / 162)
@@ -67,35 +106,61 @@ fn main() {
         let naive = naive_sgemm(384, 384, 384);
         let p = schedule_sgemm(&xlib, &st, 384, 384, 384, 6, 64).expect("schedule");
         let c = compile_c(&[p.proc().clone()], &xlib.codegen_ctx()).expect("codegen");
+        let (c_gen, alg) = (loc(&c), loc(&exo_core::printer::proc_to_string(&naive)));
         println!(
             "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 846 / >1690 / 11 / 162)",
             "SGEMM",
             "x86",
-            loc(&c),
+            c_gen,
             1690,
-            loc(&exo_core::printer::proc_to_string(&naive)),
+            alg,
             p.directives()
         );
+        records.push(codesize_row(
+            "SGEMM",
+            "x86",
+            c_gen,
+            1690,
+            alg,
+            p.directives(),
+        ));
     }
 
     // CONV on x86 (paper row: 102 / >5400 / 23 / 39)
     {
         eprintln!("fig7: x86 conv …");
-        let s = ConvShape { batch: 5, out_dim: 80, oc: 128, ic: 128, kdim: 3 };
+        let s = ConvShape {
+            batch: 5,
+            out_dim: 80,
+            oc: 128,
+            ic: 128,
+            kdim: 3,
+        };
         let naive = naive_conv_f32(&s);
         let p = schedule_conv_avx512(&xlib, &st, &s, 4).expect("schedule");
         let c = compile_c(&[p.proc().clone()], &xlib.codegen_ctx()).expect("codegen");
+        let (c_gen, alg) = (loc(&c), loc(&exo_core::printer::proc_to_string(&naive)));
         println!(
             "{:<10} {:<9} {:>8} {:>8} {:>6} {:>7}   (paper: 102 / >5400 / 23 / 39)",
             "CONV",
             "x86",
-            loc(&c),
+            c_gen,
             5400,
-            loc(&exo_core::printer::proc_to_string(&naive)),
+            alg,
             p.directives()
         );
+        records.push(codesize_row(
+            "CONV",
+            "x86",
+            c_gen,
+            5400,
+            alg,
+            p.directives(),
+        ));
     }
 
     println!();
     println!("C(ref) values are quoted from the paper (closed/unvendored sources).");
+    records.push(solver_stats_json(&st));
+    write_bench_json("fig7", &records).expect("write BENCH_fig7.json");
 }

@@ -33,7 +33,9 @@ impl std::fmt::Display for CodegenError {
 impl std::error::Error for CodegenError {}
 
 fn cerr<T>(message: impl Into<String>) -> Result<T, CodegenError> {
-    Err(CodegenError { message: message.into() })
+    Err(CodegenError {
+        message: message.into(),
+    })
 }
 
 /// Everything a code-generation run needs besides the procedures.
@@ -117,7 +119,10 @@ pub fn compile_c(procs: &[Arc<Proc>], ctx: &CodegenCtx) -> Result<String, Codege
         }
     }
     for p in &order {
-        if let Some(InstrTemplate { c_global: Some(g), .. }) = &p.instr {
+        if let Some(InstrTemplate {
+            c_global: Some(g), ..
+        }) = &p.instr
+        {
             if emitted_globals.insert(g.clone()) {
                 let _ = writeln!(out, "{g}");
             }
@@ -158,12 +163,15 @@ fn collect_procs(p: &Arc<Proc>, order: &mut Vec<Arc<Proc>>, seen: &mut HashSet<u
     order.push(Arc::clone(p));
 }
 
-fn scan_window_types(
-    p: &Proc,
-    out: &mut HashSet<(usize, DataType)>,
-) -> Result<(), CodegenError> {
+fn scan_window_types(p: &Proc, out: &mut HashSet<(usize, DataType)>) -> Result<(), CodegenError> {
     for a in &p.args {
-        if let ArgType::Tensor { ty, shape, window: true, .. } = &a.ty {
+        if let ArgType::Tensor {
+            ty,
+            shape,
+            window: true,
+            ..
+        } = &a.ty
+        {
             out.insert((shape.len(), *ty));
         }
     }
@@ -233,9 +241,17 @@ fn c_type(ty: DataType) -> Result<&'static str, CodegenError> {
 #[derive(Clone, Debug)]
 enum DataBinding {
     /// Dense tensor: raw pointer, shape expressions known statically.
-    Dense { ty: DataType, shape: Vec<Expr>, mem: MemName },
+    Dense {
+        ty: DataType,
+        shape: Vec<Expr>,
+        mem: MemName,
+    },
     /// Window struct with runtime strides.
-    Window { ty: DataType, rank: usize, mem: MemName },
+    Window {
+        ty: DataType,
+        rank: usize,
+        mem: MemName,
+    },
     /// Scalar passed by pointer.
     Scalar { ty: DataType, mem: MemName },
 }
@@ -284,13 +300,27 @@ impl<'a> ProcGen<'a> {
             match &a.ty {
                 ArgType::Ctrl(_) => {}
                 ArgType::Scalar { ty, mem } => {
-                    gen.bindings.insert(a.name, DataBinding::Scalar { ty: *ty, mem: *mem });
+                    gen.bindings
+                        .insert(a.name, DataBinding::Scalar { ty: *ty, mem: *mem });
                 }
-                ArgType::Tensor { ty, shape, window, mem } => {
+                ArgType::Tensor {
+                    ty,
+                    shape,
+                    window,
+                    mem,
+                } => {
                     let b = if *window {
-                        DataBinding::Window { ty: *ty, rank: shape.len(), mem: *mem }
+                        DataBinding::Window {
+                            ty: *ty,
+                            rank: shape.len(),
+                            mem: *mem,
+                        }
                     } else {
-                        DataBinding::Dense { ty: *ty, shape: shape.clone(), mem: *mem }
+                        DataBinding::Dense {
+                            ty: *ty,
+                            shape: shape.clone(),
+                            mem: *mem,
+                        }
                     };
                     gen.bindings.insert(a.name, b);
                 }
@@ -322,7 +352,9 @@ impl<'a> ProcGen<'a> {
                 ArgType::Ctrl(exo_core::CtrlType::Bool) => format!("bool {name}"),
                 ArgType::Ctrl(_) => format!("int_fast32_t {name}"),
                 ArgType::Scalar { ty, .. } => format!("{} *{name}", c_type(*ty)?),
-                ArgType::Tensor { ty, shape, window, .. } => {
+                ArgType::Tensor {
+                    ty, shape, window, ..
+                } => {
                     if *window {
                         format!("struct exo_win_{}{} {name}", shape.len(), ty)
                     } else {
@@ -332,8 +364,16 @@ impl<'a> ProcGen<'a> {
             };
             parts.push(part);
         }
-        let args = if parts.is_empty() { "void".to_string() } else { parts.join(", ") };
-        Ok(format!("void {}({})", sanitize(&self.proc.name.name()), args))
+        let args = if parts.is_empty() {
+            "void".to_string()
+        } else {
+            parts.join(", ")
+        };
+        Ok(format!(
+            "void {}({})",
+            sanitize(&self.proc.name.name()),
+            args
+        ))
     }
 
     fn emit(&mut self) -> Result<String, CodegenError> {
@@ -440,7 +480,12 @@ impl<'a> ProcGen<'a> {
                 self.line("}");
                 Ok(())
             }
-            Stmt::Alloc { name, ty, shape, mem } => {
+            Stmt::Alloc {
+                name,
+                ty,
+                shape,
+                mem,
+            } => {
                 let cname = self.intern(*name);
                 let cty = c_type(*ty)?;
                 let size = if shape.is_empty() {
@@ -472,14 +517,16 @@ impl<'a> ProcGen<'a> {
                             .replace("{prim_type}", cty)
                             .replace("{size}", &size);
                         self.line(&a);
-                        frees.push(
-                            free.replace("{name}", &cname).replace("{prim_type}", cty),
-                        );
+                        frees.push(free.replace("{name}", &cname).replace("{prim_type}", cty));
                     }
                 }
                 self.bindings.insert(
                     *name,
-                    DataBinding::Dense { ty: *ty, shape: shape.clone(), mem: *mem },
+                    DataBinding::Dense {
+                        ty: *ty,
+                        shape: shape.clone(),
+                        mem: *mem,
+                    },
                 );
                 Ok(())
             }
@@ -490,7 +537,8 @@ impl<'a> ProcGen<'a> {
                 let (expr, ty, rank, mem) = self.window_struct(*buf, coords)?;
                 let cname = self.intern(*name);
                 self.line(&format!("struct exo_win_{rank}{ty} {cname} = {expr};"));
-                self.bindings.insert(*name, DataBinding::Window { ty, rank, mem });
+                self.bindings
+                    .insert(*name, DataBinding::Window { ty, rank, mem });
                 Ok(())
             }
             Stmt::Call { proc, args } => self.gen_call(proc, args),
@@ -503,9 +551,9 @@ impl<'a> ProcGen<'a> {
             let code = match &formal.ty {
                 ArgType::Ctrl(_) => self.ctrl_expr(actual)?,
                 ArgType::Scalar { ty, .. } => self.scalar_arg(actual, *ty)?,
-                ArgType::Tensor { ty, shape, window, .. } => {
-                    self.tensor_arg(actual, *ty, shape.len(), *window)?
-                }
+                ArgType::Tensor {
+                    ty, shape, window, ..
+                } => self.tensor_arg(actual, *ty, shape.len(), *window)?,
             };
             rendered.push((formal.name.name(), code));
         }
@@ -572,9 +620,14 @@ impl<'a> ProcGen<'a> {
                             strides.join(", ")
                         ))
                     }
-                    (DataBinding::Window { ty: wty, rank: wrank, .. }, true)
-                        if *wrank == rank =>
-                    {
+                    (
+                        DataBinding::Window {
+                            ty: wty,
+                            rank: wrank,
+                            ..
+                        },
+                        true,
+                    ) if *wrank == rank => {
                         let _ = wty;
                         Ok(name)
                     }
@@ -621,13 +674,13 @@ impl<'a> ProcGen<'a> {
                     return cerr(format!("window arity mismatch over {name}"));
                 }
                 (
-                    (0..*wrank).map(|d| format!("{name}.strides[{d}]")).collect(),
+                    (0..*wrank)
+                        .map(|d| format!("{name}.strides[{d}]"))
+                        .collect(),
                     format!("{name}.data"),
                 )
             }
-            DataBinding::Scalar { .. } => {
-                return cerr(format!("cannot window the scalar {name}"))
-            }
+            DataBinding::Scalar { .. } => return cerr(format!("cannot window the scalar {name}")),
         };
         // offset = Σ lo_d · stride_d ; kept strides = intervals
         let mut offset_terms = Vec::new();
@@ -650,7 +703,11 @@ impl<'a> ProcGen<'a> {
         } else {
             offset_terms.join(" + ")
         };
-        let strides = if kept.is_empty() { vec!["1".to_string()] } else { kept };
+        let strides = if kept.is_empty() {
+            vec!["1".to_string()]
+        } else {
+            kept
+        };
         let expr = format!(
             "(struct exo_win_{rank}{ty}){{ &{base_ptr}[{offset}], {{ {} }} }}",
             strides.join(", ")
@@ -838,8 +895,10 @@ impl<'a> ProcGen<'a> {
             }
             Expr::Neg(a) => Ok(format!("(-{})", self.data_expr_raw(a)?)),
             Expr::BuiltIn { func, args } => {
-                let xs: Vec<String> =
-                    args.iter().map(|a| self.data_expr_raw(a)).collect::<Result<_, _>>()?;
+                let xs: Vec<String> = args
+                    .iter()
+                    .map(|a| self.data_expr_raw(a))
+                    .collect::<Result<_, _>>()?;
                 let name = func.name();
                 Ok(match name.as_str() {
                     "relu" => format!("fmax(0.0, {})", xs[0]),
@@ -913,7 +972,13 @@ impl<'a> ProcGen<'a> {
 fn sanitize(name: &str) -> String {
     let mut out: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if out.is_empty() || out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         out.insert(0, '_');
@@ -957,7 +1022,10 @@ mod tests {
     fn gemm_compiles_to_c() {
         let ctx = CodegenCtx::new();
         let c = compile_c(&[gemm()], &ctx).unwrap();
-        assert!(c.contains("void gemm(int_fast32_t n, float *A, float *B, float *C)"), "{c}");
+        assert!(
+            c.contains("void gemm(int_fast32_t n, float *A, float *B, float *C)"),
+            "{c}"
+        );
         assert!(c.contains("C[(i) * ((n)) + (j)] += (A["), "{c}");
         assert!(c.contains("for (int_fast32_t i = 0; i < n; i++)"), "{c}");
     }
@@ -1009,8 +1077,14 @@ mod tests {
             &hw_ld,
             vec![
                 Expr::int(8),
-                Expr::Window { buf: a, coords: vec![WAccess::Interval(Expr::int(0), Expr::int(8))] },
-                Expr::Window { buf: c, coords: vec![WAccess::Interval(Expr::int(0), Expr::int(8))] },
+                Expr::Window {
+                    buf: a,
+                    coords: vec![WAccess::Interval(Expr::int(0), Expr::int(8))],
+                },
+                Expr::Window {
+                    buf: c,
+                    coords: vec![WAccess::Interval(Expr::int(0), Expr::int(8))],
+                },
             ],
         );
         let ctx = CodegenCtx::new();
@@ -1023,7 +1097,10 @@ mod tests {
 
     #[test]
     fn config_struct_emitted() {
-        let cfg = ConfigDecl::new("ConfigLoad", vec![("src_stride", exo_core::CtrlType::Stride)]);
+        let cfg = ConfigDecl::new(
+            "ConfigLoad",
+            vec![("src_stride", exo_core::CtrlType::Stride)],
+        );
         let cname = cfg.name;
         let fname = cfg.fields[0].name;
         let mut b = ProcBuilder::new("p");

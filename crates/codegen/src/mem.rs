@@ -128,10 +128,13 @@ mod tests {
     #[test]
     fn register_and_lookup() {
         let mut set = MemorySet::new();
-        let spad = Memory::accelerator("SPAD", AllocStyle::Custom {
-            alloc: "{prim_type}* {name} = spad_malloc({size});".into(),
-            free: "spad_free({name});".into(),
-        });
+        let spad = Memory::accelerator(
+            "SPAD",
+            AllocStyle::Custom {
+                alloc: "{prim_type}* {name} = spad_malloc({size});".into(),
+                free: "spad_free({name});".into(),
+            },
+        );
         let name = spad.name;
         set.register(spad);
         let m = set.get(name).expect("registered");

@@ -41,8 +41,7 @@ fn compile_and_run(code: &str, harness: &str) -> Vec<f64> {
     use std::sync::atomic::{AtomicUsize, Ordering};
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
     let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
-    let dir = std::env::temp_dir()
-        .join(format!("exo_cg_test_{}_{unique}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("exo_cg_test_{}_{unique}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let src = dir.join("t.c");
     let bin = dir.join("t.bin");
@@ -92,7 +91,12 @@ fn generated_gemm_matches_interpreter() {
     let idc = m.alloc_extern("C", DataType::F32, &[n, n], &vec![0.0; n * n]);
     m.run(
         &proc,
-        &[ArgVal::Int(n as i64), ArgVal::Tensor(ida), ArgVal::Tensor(idb), ArgVal::Tensor(idc)],
+        &[
+            ArgVal::Int(n as i64),
+            ArgVal::Tensor(ida),
+            ArgVal::Tensor(idb),
+            ArgVal::Tensor(idc),
+        ],
     )
     .unwrap();
     let want = m.buffer_values(idc).unwrap();
@@ -132,7 +136,12 @@ fn generated_windows_and_calls_compile() {
     // a callee taking a window, called on a sub-tile
     let mut cb = ProcBuilder::new("fill2");
     let n = cb.size("n");
-    let dst = cb.window_arg("dst", DataType::F32, vec![Expr::var(n)], exo_core::MemName::dram());
+    let dst = cb.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n)],
+        exo_core::MemName::dram(),
+    );
     let i = cb.begin_for("i", Expr::int(0), Expr::var(n));
     cb.assign(dst, vec![Expr::var(i)], Expr::float(3.0));
     cb.end_for();
@@ -183,7 +192,10 @@ fn alloc_and_free_are_balanced() {
     let p = b.finish();
     let ctx = CodegenCtx::new();
     let code = compile_c(&[p], &ctx).unwrap();
-    assert_eq!(code.matches("malloc").count(), code.matches("free(").count());
+    assert_eq!(
+        code.matches("malloc").count(),
+        code.matches("free(").count()
+    );
     let harness = r#"
 int main(void) {
     float A[4] = {1, 2, 3, 4};

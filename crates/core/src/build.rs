@@ -43,8 +43,18 @@ pub struct ProcBuilder {
 #[derive(Debug)]
 enum Frame {
     Top(Block),
-    For { iter: Sym, lo: Expr, hi: Expr, body: Block },
-    If { cond: Expr, body: Block, in_else: bool, then_done: Block },
+    For {
+        iter: Sym,
+        lo: Expr,
+        hi: Expr,
+        body: Block,
+    },
+    If {
+        cond: Expr,
+        body: Block,
+        in_else: bool,
+        then_done: Block,
+    },
 }
 
 impl ProcBuilder {
@@ -67,7 +77,10 @@ impl ProcBuilder {
     /// Declares a control parameter of the given type.
     pub fn ctrl(&mut self, name: &str, ty: CtrlType) -> Sym {
         let s = Sym::new(name);
-        self.args.push(FnArg { name: s, ty: ArgType::Ctrl(ty) });
+        self.args.push(FnArg {
+            name: s,
+            ty: ArgType::Ctrl(ty),
+        });
         s
     }
 
@@ -81,7 +94,12 @@ impl ProcBuilder {
         let s = Sym::new(name);
         self.args.push(FnArg {
             name: s,
-            ty: ArgType::Tensor { ty, shape, window: false, mem },
+            ty: ArgType::Tensor {
+                ty,
+                shape,
+                window: false,
+                mem,
+            },
         });
         s
     }
@@ -92,7 +110,12 @@ impl ProcBuilder {
         let s = Sym::new(name);
         self.args.push(FnArg {
             name: s,
-            ty: ArgType::Tensor { ty, shape, window: true, mem },
+            ty: ArgType::Tensor {
+                ty,
+                shape,
+                window: true,
+                mem,
+            },
         });
         s
     }
@@ -102,7 +125,10 @@ impl ProcBuilder {
         let s = Sym::new(name);
         self.args.push(FnArg {
             name: s,
-            ty: ArgType::Scalar { ty, mem: MemName::dram() },
+            ty: ArgType::Scalar {
+                ty,
+                mem: MemName::dram(),
+            },
         });
         s
     }
@@ -115,7 +141,10 @@ impl ProcBuilder {
 
     /// Marks the procedure as an `@instr` with the given C template.
     pub fn instr(&mut self, c_instr: impl Into<String>) -> &mut Self {
-        self.instr = Some(InstrTemplate { c_instr: c_instr.into(), c_global: None });
+        self.instr = Some(InstrTemplate {
+            c_instr: c_instr.into(),
+            c_global: None,
+        });
         self
     }
 
@@ -137,7 +166,12 @@ impl ProcBuilder {
         match self.frames.last_mut().expect("builder has no open block") {
             Frame::Top(b) => b,
             Frame::For { body, .. } => body,
-            Frame::If { body, in_else, then_done, .. } => {
+            Frame::If {
+                body,
+                in_else,
+                then_done,
+                ..
+            } => {
                 if *in_else {
                     body
                 } else {
@@ -172,27 +206,43 @@ impl ProcBuilder {
     /// Emits an allocation and returns the buffer symbol.
     pub fn alloc(&mut self, name: &str, ty: DataType, shape: Vec<Expr>, mem: MemName) -> Sym {
         let s = Sym::new(name);
-        self.stmt(Stmt::Alloc { name: s, ty, shape, mem });
+        self.stmt(Stmt::Alloc {
+            name: s,
+            ty,
+            shape,
+            mem,
+        });
         s
     }
 
     /// Emits a window definition and returns the window symbol.
     pub fn window(&mut self, name: &str, base: Sym, coords: Vec<WAccess>) -> Sym {
         let s = Sym::new(name);
-        self.stmt(Stmt::WindowDef { name: s, rhs: Expr::Window { buf: base, coords } });
+        self.stmt(Stmt::WindowDef {
+            name: s,
+            rhs: Expr::Window { buf: base, coords },
+        });
         s
     }
 
     /// Emits a call to `proc`.
     pub fn call(&mut self, proc: &Arc<Proc>, args: Vec<Expr>) -> &mut Self {
-        self.stmt(Stmt::Call { proc: Arc::clone(proc), args })
+        self.stmt(Stmt::Call {
+            proc: Arc::clone(proc),
+            args,
+        })
     }
 
     /// Opens `for name in seq(lo, hi):`, returning the iteration variable.
     /// Close with [`ProcBuilder::end_for`].
     pub fn begin_for(&mut self, name: &str, lo: Expr, hi: Expr) -> Sym {
         let iter = Sym::new(name);
-        self.frames.push(Frame::For { iter, lo, hi, body: Vec::new() });
+        self.frames.push(Frame::For {
+            iter,
+            lo,
+            hi,
+            body: Vec::new(),
+        });
         iter
     }
 
@@ -231,7 +281,12 @@ impl ProcBuilder {
     /// else branch was already begun.
     pub fn begin_else(&mut self) -> &mut Self {
         match self.frames.last_mut() {
-            Some(Frame::If { body, in_else, then_done, .. }) if !*in_else => {
+            Some(Frame::If {
+                body,
+                in_else,
+                then_done,
+                ..
+            }) if !*in_else => {
                 std::mem::swap(then_done, body);
                 *in_else = true;
                 self
@@ -247,9 +302,22 @@ impl ProcBuilder {
     /// Panics if the innermost open construct is not an `if`.
     pub fn end_if(&mut self) -> &mut Self {
         match self.frames.pop() {
-            Some(Frame::If { cond, body, in_else, then_done }) => {
-                let (then_b, else_b) = if in_else { (then_done, body) } else { (body, then_done) };
-                self.cur().push(Stmt::If { cond, body: then_b, orelse: else_b });
+            Some(Frame::If {
+                cond,
+                body,
+                in_else,
+                then_done,
+            }) => {
+                let (then_b, else_b) = if in_else {
+                    (then_done, body)
+                } else {
+                    (body, then_done)
+                };
+                self.cur().push(Stmt::If {
+                    cond,
+                    body: then_b,
+                    orelse: else_b,
+                });
                 self
             }
             _ => panic!("end_if: innermost open construct is not an if"),
@@ -298,7 +366,11 @@ mod tests {
         let c = b.tensor("C", DataType::F32, vec![Expr::int(8), Expr::int(8)]);
         let i = b.begin_for("i", Expr::int(0), Expr::int(8));
         let j = b.begin_for("j", Expr::int(0), Expr::int(8));
-        b.reduce(c, vec![Expr::var(i), Expr::var(j)], read(a, vec![Expr::var(i), Expr::var(j)]));
+        b.reduce(
+            c,
+            vec![Expr::var(i), Expr::var(j)],
+            read(a, vec![Expr::var(i), Expr::var(j)]),
+        );
         b.end_for();
         b.end_for();
         let p = b.finish();

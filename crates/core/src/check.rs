@@ -29,7 +29,9 @@ impl fmt::Display for TypeError {
 impl std::error::Error for TypeError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, TypeError> {
-    Err(TypeError { message: message.into() })
+    Err(TypeError {
+        message: message.into(),
+    })
 }
 
 /// What kind of thing a symbol denotes in scope.
@@ -37,7 +39,9 @@ fn err<T>(message: impl Into<String>) -> Result<T, TypeError> {
 enum Binding {
     Ctrl(CtrlType),
     /// Data buffer / window / scalar with a number of retained dimensions.
-    Data { dims: usize },
+    Data {
+        dims: usize,
+    },
 }
 
 /// Checks a procedure for scoping, control/data separation, and
@@ -106,7 +110,10 @@ fn check_block(b: &Block, env: &mut HashMap<Sym, Binding>) -> Result<(), TypeErr
                     for e in shape {
                         check_ctrl(e, env)?;
                     }
-                    added.push((*name, env.insert(*name, Binding::Data { dims: shape.len() })));
+                    added.push((
+                        *name,
+                        env.insert(*name, Binding::Data { dims: shape.len() }),
+                    ));
                 }
                 Stmt::WindowDef { name, rhs } => {
                     let dims = match rhs {
@@ -154,11 +161,7 @@ fn check_block(b: &Block, env: &mut HashMap<Sym, Binding>) -> Result<(), TypeErr
     result
 }
 
-fn check_data_target(
-    buf: Sym,
-    idx: &[Expr],
-    env: &HashMap<Sym, Binding>,
-) -> Result<(), TypeError> {
+fn check_data_target(buf: Sym, idx: &[Expr], env: &HashMap<Sym, Binding>) -> Result<(), TypeError> {
     match env.get(&buf) {
         Some(Binding::Data { dims }) if *dims == idx.len() => Ok(()),
         Some(Binding::Data { dims }) => err(format!(
@@ -170,7 +173,11 @@ fn check_data_target(
     }
 }
 
-fn check_window(buf: Sym, coords: &[WAccess], env: &HashMap<Sym, Binding>) -> Result<(), TypeError> {
+fn check_window(
+    buf: Sym,
+    coords: &[WAccess],
+    env: &HashMap<Sym, Binding>,
+) -> Result<(), TypeError> {
     match env.get(&buf) {
         Some(Binding::Data { dims }) if *dims == coords.len() => {
             for c in coords {
@@ -208,7 +215,9 @@ fn check_data_arg(e: &Expr, dims: usize, env: &HashMap<Sym, Binding>) -> Result<
             if kept == dims {
                 Ok(())
             } else {
-                err(format!("window argument keeps {kept} dimensions, expected {dims}"))
+                err(format!(
+                    "window argument keeps {kept} dimensions, expected {dims}"
+                ))
             }
         }
         // scalar data expressions may be passed to scalar formals
@@ -316,7 +325,11 @@ mod tests {
         let c = b.tensor("C", DataType::F32, vec![Expr::var(n), Expr::var(n)]);
         let i = b.begin_for("i", Expr::int(0), Expr::var(n));
         let j = b.begin_for("j", Expr::int(0), Expr::var(n));
-        b.reduce(c, vec![Expr::var(i), Expr::var(j)], read(a, vec![Expr::var(i), Expr::var(j)]));
+        b.reduce(
+            c,
+            vec![Expr::var(i), Expr::var(j)],
+            read(a, vec![Expr::var(i), Expr::var(j)]),
+        );
         b.end_for();
         b.end_for();
         assert!(check_proc(&b.finish()).is_ok());

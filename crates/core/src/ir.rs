@@ -211,6 +211,7 @@ macro_rules! expr_binops {
         impl Expr {
             $(
                 #[doc = concat!("Builds `self ", stringify!($op), " rhs`.")]
+                #[allow(clippy::should_implement_trait)]
                 pub fn $method(self, rhs: Expr) -> Expr {
                     Expr::bin(BinOp::$op, self, rhs)
                 }

@@ -134,7 +134,11 @@ pub fn stmt_at<'a>(body: &'a Block, path: &StmtPath) -> Option<&'a Stmt> {
 /// splitting rewrites).
 ///
 /// Returns `None` if the path is invalid.
-pub fn replace_at(body: &Block, path: &StmtPath, f: &mut dyn FnMut(&Stmt) -> Vec<Stmt>) -> Option<Block> {
+pub fn replace_at(
+    body: &Block,
+    path: &StmtPath,
+    f: &mut dyn FnMut(&Stmt) -> Vec<Stmt>,
+) -> Option<Block> {
     fn go(
         block: &Block,
         steps: &[PathStep],
@@ -230,7 +234,10 @@ mod tests {
     #[test]
     fn stmt_at_navigates() {
         let b = sample();
-        assert!(matches!(stmt_at(&b, &StmtPath::top(0)), Some(Stmt::For { .. })));
+        assert!(matches!(
+            stmt_at(&b, &StmtPath::top(0)),
+            Some(Stmt::For { .. })
+        ));
         let p = StmtPath::top(0).child(0, 1); // the if
         assert!(matches!(stmt_at(&b, &p), Some(Stmt::If { .. })));
         let p_else = p.child(1, 0);

@@ -45,7 +45,10 @@ fn print_expr(e: &Expr, min_prec: u8) -> String {
                 format!(
                     "{}[{}]",
                     buf.name(),
-                    idx.iter().map(|i| print_expr(i, 0)).collect::<Vec<_>>().join(", ")
+                    idx.iter()
+                        .map(|i| print_expr(i, 0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 )
             }
         }
@@ -66,7 +69,10 @@ fn print_expr(e: &Expr, min_prec: u8) -> String {
         Expr::BuiltIn { func, args } => format!(
             "{}({})",
             func.name(),
-            args.iter().map(|a| print_expr(a, 0)).collect::<Vec<_>>().join(", ")
+            args.iter()
+                .map(|a| print_expr(a, 0))
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
     };
     if p < min_prec {
@@ -94,7 +100,10 @@ fn print_block(b: &Block, indent: usize, out: &mut String) {
                     format!(
                         "{}[{}]",
                         buf.name(),
-                        idx.iter().map(|i| print_expr(i, 0)).collect::<Vec<_>>().join(", ")
+                        idx.iter()
+                            .map(|i| print_expr(i, 0))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 };
                 let _ = writeln!(out, "{pad}{lhs} = {}", print_expr(rhs, 0));
@@ -106,7 +115,10 @@ fn print_block(b: &Block, indent: usize, out: &mut String) {
                     format!(
                         "{}[{}]",
                         buf.name(),
-                        idx.iter().map(|i| print_expr(i, 0)).collect::<Vec<_>>().join(", ")
+                        idx.iter()
+                            .map(|i| print_expr(i, 0))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 };
                 let _ = writeln!(out, "{pad}{lhs} += {}", print_expr(rhs, 0));
@@ -138,13 +150,22 @@ fn print_block(b: &Block, indent: usize, out: &mut String) {
                 );
                 print_block(body, indent + 1, out);
             }
-            Stmt::Alloc { name, ty, shape, mem } => {
+            Stmt::Alloc {
+                name,
+                ty,
+                shape,
+                mem,
+            } => {
                 let dims = if shape.is_empty() {
                     String::new()
                 } else {
                     format!(
                         "[{}]",
-                        shape.iter().map(|e| print_expr(e, 0)).collect::<Vec<_>>().join(", ")
+                        shape
+                            .iter()
+                            .map(|e| print_expr(e, 0))
+                            .collect::<Vec<_>>()
+                            .join(", ")
                     )
                 };
                 let _ = writeln!(out, "{pad}{} : {}{} @ {}", name.name(), ty, dims, mem);
@@ -157,7 +178,10 @@ fn print_block(b: &Block, indent: usize, out: &mut String) {
                     out,
                     "{pad}{}({})",
                     proc.name.name(),
-                    args.iter().map(|a| print_expr(a, 0)).collect::<Vec<_>>().join(", ")
+                    args.iter()
+                        .map(|a| print_expr(a, 0))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
         }
@@ -177,7 +201,12 @@ pub fn proc_to_string(p: &Proc) -> String {
             match &a.ty {
                 ArgType::Ctrl(ct) => format!("{name}: {ct}"),
                 ArgType::Scalar { ty, mem } => format!("{name}: {ty} @ {mem}"),
-                ArgType::Tensor { ty, shape, window, mem } => {
+                ArgType::Tensor {
+                    ty,
+                    shape,
+                    window,
+                    mem,
+                } => {
                     let dims = shape
                         .iter()
                         .map(|e| print_expr(e, 0))
@@ -250,7 +279,10 @@ mod tests {
             ],
         };
         assert_eq!(expr_to_string(&e), "x[0:4, 2]");
-        assert_eq!(expr_to_string(&Expr::Stride { buf: x, dim: 1 }), "stride(x, 1)");
+        assert_eq!(
+            expr_to_string(&Expr::Stride { buf: x, dim: 1 }),
+            "stride(x, 1)"
+        );
     }
 
     #[test]

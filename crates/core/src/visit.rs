@@ -70,7 +70,9 @@ pub fn visit_stmts(b: &[Stmt], f: &mut impl FnMut(&Stmt)) {
 /// Rewrites every expression in `e` bottom-up with `f`.
 pub fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
     let rebuilt = match e {
-        Expr::BinOp(op, a, b) => Expr::BinOp(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f))),
+        Expr::BinOp(op, a, b) => {
+            Expr::BinOp(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+        }
         Expr::Neg(a) => Expr::Neg(Box::new(map_expr(a, f))),
         Expr::Read { buf, idx } => Expr::Read {
             buf: *buf,
@@ -133,7 +135,12 @@ pub fn map_stmt_exprs(s: &Stmt, f: &mut impl FnMut(Expr) -> Expr) -> Stmt {
             hi: map_expr(hi, f),
             body: map_block_exprs(body, f),
         },
-        Stmt::Alloc { name, ty, shape, mem } => Stmt::Alloc {
+        Stmt::Alloc {
+            name,
+            ty,
+            shape,
+            mem,
+        } => Stmt::Alloc {
             name: *name,
             ty: *ty,
             shape: shape.iter().map(|e| map_expr(e, f)).collect(),
@@ -177,9 +184,18 @@ pub fn rename_syms_block(b: &[Stmt], map: &HashMap<Sym, Sym>) -> Block {
         .map(|s| {
             let s = map_stmt_exprs(s, &mut |e| match e {
                 Expr::Var(x) => Expr::Var(get(&x)),
-                Expr::Read { buf, idx } => Expr::Read { buf: get(&buf), idx },
-                Expr::Window { buf, coords } => Expr::Window { buf: get(&buf), coords },
-                Expr::Stride { buf, dim } => Expr::Stride { buf: get(&buf), dim },
+                Expr::Read { buf, idx } => Expr::Read {
+                    buf: get(&buf),
+                    idx,
+                },
+                Expr::Window { buf, coords } => Expr::Window {
+                    buf: get(&buf),
+                    coords,
+                },
+                Expr::Stride { buf, dim } => Expr::Stride {
+                    buf: get(&buf),
+                    dim,
+                },
                 other => other,
             });
             rename_stmt_tops(&s, &get)
@@ -210,7 +226,12 @@ fn rename_stmt_tops(s: &Stmt, get: &impl Fn(&Sym) -> Sym) -> Stmt {
             body: body.iter().map(|s| rename_stmt_tops(s, get)).collect(),
             orelse: orelse.iter().map(|s| rename_stmt_tops(s, get)).collect(),
         },
-        Stmt::Alloc { name, ty, shape, mem } => Stmt::Alloc {
+        Stmt::Alloc {
+            name,
+            ty,
+            shape,
+            mem,
+        } => Stmt::Alloc {
             name: get(name),
             ty: *ty,
             shape: shape.clone(),
@@ -282,15 +303,13 @@ fn free_block(b: &[Stmt], bound: &mut HashSet<Sym>, free: &mut HashSet<Sym>) {
 
 fn free_expr(e: &Expr, bound: &HashSet<Sym>, free: &mut HashSet<Sym>) {
     visit_expr(e, &mut |e| match e {
-        Expr::Var(x) => {
-            if !bound.contains(x) {
-                free.insert(*x);
-            }
+        Expr::Var(x) if !bound.contains(x) => {
+            free.insert(*x);
         }
-        Expr::Read { buf, .. } | Expr::Window { buf, .. } | Expr::Stride { buf, .. } => {
-            if !bound.contains(buf) {
-                free.insert(*buf);
-            }
+        Expr::Read { buf, .. } | Expr::Window { buf, .. } | Expr::Stride { buf, .. }
+            if !bound.contains(buf) =>
+        {
+            free.insert(*buf);
         }
         _ => {}
     });
@@ -305,11 +324,21 @@ pub fn refresh_bound(b: &[Stmt]) -> Block {
         let mut local: Vec<(Sym, Option<Sym>)> = Vec::new();
         for s in b {
             let s2 = match s {
-                Stmt::Alloc { name, ty, shape, mem } => {
+                Stmt::Alloc {
+                    name,
+                    ty,
+                    shape,
+                    mem,
+                } => {
                     let shape = shape.iter().map(|e| apply(e, map)).collect();
                     let fresh = name.copy();
                     local.push((*name, map.insert(*name, fresh)));
-                    Stmt::Alloc { name: fresh, ty: *ty, shape, mem: *mem }
+                    Stmt::Alloc {
+                        name: fresh,
+                        ty: *ty,
+                        shape,
+                        mem: *mem,
+                    }
                 }
                 Stmt::WindowDef { name, rhs } => {
                     let rhs = apply(rhs, map);
@@ -331,7 +360,12 @@ pub fn refresh_bound(b: &[Stmt]) -> Block {
                             map.remove(iter);
                         }
                     }
-                    Stmt::For { iter: fresh, lo, hi, body }
+                    Stmt::For {
+                        iter: fresh,
+                        lo,
+                        hi,
+                        body,
+                    }
                 }
                 Stmt::If { cond, body, orelse } => Stmt::If {
                     cond: apply(cond, map),
@@ -410,7 +444,16 @@ pub fn alpha_eq_expr(a: &Expr, b: &Expr, map: &HashMap<Sym, Sym>) -> bool {
                 && i1.len() == i2.len()
                 && i1.iter().zip(i2).all(|(x, y)| alpha_eq_expr(x, y, map))
         }
-        (Expr::Window { buf: b1, coords: c1 }, Expr::Window { buf: b2, coords: c2 }) => {
+        (
+            Expr::Window {
+                buf: b1,
+                coords: c1,
+            },
+            Expr::Window {
+                buf: b2,
+                coords: c2,
+            },
+        ) => {
             eq_sym(b1, b2)
                 && c1.len() == c2.len()
                 && c1.iter().zip(c2).all(|(x, y)| match (x, y) {
@@ -425,8 +468,14 @@ pub fn alpha_eq_expr(a: &Expr, b: &Expr, map: &HashMap<Sym, Sym>) -> bool {
             eq_sym(b1, b2) && d1 == d2
         }
         (
-            Expr::ReadConfig { config: c1, field: f1 },
-            Expr::ReadConfig { config: c2, field: f2 },
+            Expr::ReadConfig {
+                config: c1,
+                field: f1,
+            },
+            Expr::ReadConfig {
+                config: c2,
+                field: f2,
+            },
         ) => {
             // configuration state is global and named: compare by spelling
             c1.name() == c2.name() && f1.name() == f2.name()
@@ -447,7 +496,10 @@ pub fn alpha_eq_block(a: &[Stmt], b: &[Stmt]) -> bool {
             return false;
         }
         let mut shadow: Vec<(Sym, Option<Sym>)> = Vec::new();
-        let ok = a.iter().zip(b).all(|(x, y)| eq_stmt(x, y, map, &mut shadow));
+        let ok = a
+            .iter()
+            .zip(b)
+            .all(|(x, y)| eq_stmt(x, y, map, &mut shadow));
         for (orig, prev) in shadow.into_iter().rev() {
             match prev {
                 Some(p) => {
@@ -466,18 +518,33 @@ pub fn alpha_eq_block(a: &[Stmt], b: &[Stmt]) -> bool {
         map: &mut HashMap<Sym, Sym>,
         shadow: &mut Vec<(Sym, Option<Sym>)>,
     ) -> bool {
-        let eq_sym = |x: &Sym, y: &Sym, map: &HashMap<Sym, Sym>| {
-            map.get(x).copied().unwrap_or(*x) == *y
-        };
+        let eq_sym =
+            |x: &Sym, y: &Sym, map: &HashMap<Sym, Sym>| map.get(x).copied().unwrap_or(*x) == *y;
         match (a, b) {
             (Stmt::Pass, Stmt::Pass) => true,
             (
-                Stmt::Assign { buf: b1, idx: i1, rhs: r1 },
-                Stmt::Assign { buf: b2, idx: i2, rhs: r2 },
+                Stmt::Assign {
+                    buf: b1,
+                    idx: i1,
+                    rhs: r1,
+                },
+                Stmt::Assign {
+                    buf: b2,
+                    idx: i2,
+                    rhs: r2,
+                },
             )
             | (
-                Stmt::Reduce { buf: b1, idx: i1, rhs: r1 },
-                Stmt::Reduce { buf: b2, idx: i2, rhs: r2 },
+                Stmt::Reduce {
+                    buf: b1,
+                    idx: i1,
+                    rhs: r1,
+                },
+                Stmt::Reduce {
+                    buf: b2,
+                    idx: i2,
+                    rhs: r2,
+                },
             ) => {
                 // require same variant
                 matches!(
@@ -490,22 +557,42 @@ pub fn alpha_eq_block(a: &[Stmt], b: &[Stmt]) -> bool {
                     && alpha_eq_expr(r1, r2, map)
             }
             (
-                Stmt::WriteConfig { config: c1, field: f1, rhs: r1 },
-                Stmt::WriteConfig { config: c2, field: f2, rhs: r2 },
-            ) => {
-                c1.name() == c2.name()
-                    && f1.name() == f2.name()
-                    && alpha_eq_expr(r1, r2, map)
-            }
+                Stmt::WriteConfig {
+                    config: c1,
+                    field: f1,
+                    rhs: r1,
+                },
+                Stmt::WriteConfig {
+                    config: c2,
+                    field: f2,
+                    rhs: r2,
+                },
+            ) => c1.name() == c2.name() && f1.name() == f2.name() && alpha_eq_expr(r1, r2, map),
             (
-                Stmt::If { cond: c1, body: t1, orelse: e1 },
-                Stmt::If { cond: c2, body: t2, orelse: e2 },
-            ) => {
-                alpha_eq_expr(c1, c2, map) && eq_block(t1, t2, map) && eq_block(e1, e2, map)
-            }
+                Stmt::If {
+                    cond: c1,
+                    body: t1,
+                    orelse: e1,
+                },
+                Stmt::If {
+                    cond: c2,
+                    body: t2,
+                    orelse: e2,
+                },
+            ) => alpha_eq_expr(c1, c2, map) && eq_block(t1, t2, map) && eq_block(e1, e2, map),
             (
-                Stmt::For { iter: v1, lo: l1, hi: h1, body: bd1 },
-                Stmt::For { iter: v2, lo: l2, hi: h2, body: bd2 },
+                Stmt::For {
+                    iter: v1,
+                    lo: l1,
+                    hi: h1,
+                    body: bd1,
+                },
+                Stmt::For {
+                    iter: v2,
+                    lo: l2,
+                    hi: h2,
+                    body: bd2,
+                },
             ) => {
                 if !(alpha_eq_expr(l1, l2, map) && alpha_eq_expr(h1, h2, map)) {
                     return false;
@@ -523,8 +610,18 @@ pub fn alpha_eq_block(a: &[Stmt], b: &[Stmt]) -> bool {
                 ok
             }
             (
-                Stmt::Alloc { name: n1, ty: t1, shape: s1, mem: m1 },
-                Stmt::Alloc { name: n2, ty: t2, shape: s2, mem: m2 },
+                Stmt::Alloc {
+                    name: n1,
+                    ty: t1,
+                    shape: s1,
+                    mem: m1,
+                },
+                Stmt::Alloc {
+                    name: n2,
+                    ty: t2,
+                    shape: s2,
+                    mem: m2,
+                },
             ) => {
                 let ok = t1 == t2
                     && m1 == m2
@@ -585,8 +682,18 @@ fn arg_ty_compatible(a: &FnArg, b: &FnArg, map: &HashMap<Sym, Sym>) -> bool {
         (A::Ctrl(x), A::Ctrl(y)) => x == y,
         (A::Scalar { ty: t1, mem: m1 }, A::Scalar { ty: t2, mem: m2 }) => t1 == t2 && m1 == m2,
         (
-            A::Tensor { ty: t1, shape: s1, window: w1, mem: m1 },
-            A::Tensor { ty: t2, shape: s2, window: w2, mem: m2 },
+            A::Tensor {
+                ty: t1,
+                shape: s1,
+                window: w1,
+                mem: m1,
+            },
+            A::Tensor {
+                ty: t2,
+                shape: s2,
+                window: w2,
+                mem: m2,
+            },
         ) => {
             t1 == t2
                 && w1 == w2
@@ -634,7 +741,11 @@ mod tests {
                 shape: vec![],
                 mem: crate::types::MemName::dram(),
             },
-            Stmt::Assign { buf: t, idx: vec![], rhs: Expr::float(1.0) },
+            Stmt::Assign {
+                buf: t,
+                idx: vec![],
+                rhs: Expr::float(1.0),
+            },
         ];
         assert!(!free_syms_block(&body).contains(&t));
     }
@@ -689,10 +800,17 @@ mod tests {
                 iter: i,
                 lo: Expr::int(0),
                 hi: Expr::int(8),
-                body: vec![Stmt::Assign { buf: a, idx: vec![Expr::var(i)], rhs }],
+                body: vec![Stmt::Assign {
+                    buf: a,
+                    idx: vec![Expr::var(i)],
+                    rhs,
+                }],
             }]
         };
         assert!(alpha_eq_block(&mk(Expr::float(0.0)), &mk(Expr::float(0.0))));
-        assert!(!alpha_eq_block(&mk(Expr::float(0.0)), &mk(Expr::float(1.0))));
+        assert!(!alpha_eq_block(
+            &mk(Expr::float(0.0)),
+            &mk(Expr::float(1.0))
+        ));
     }
 }

@@ -60,8 +60,8 @@ impl fmt::Display for LexError {
 impl std::error::Error for LexError {}
 
 const PUNCTS: &[&str] = &[
-    "<=", ">=", "==", "!=", "+=", "->", "(", ")", "[", "]", ":", ",", "@", ".", "+", "-", "*",
-    "/", "%", "<", ">", "=",
+    "<=", ">=", "==", "!=", "+=", "->", "(", ")", "[", "]", ":", ",", "@", ".", "+", "-", "*", "/",
+    "%", "<", ">", "=",
 ];
 
 /// Tokenizes a source string.
@@ -138,12 +138,18 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<(Tok, usize)>) -> Result<(),
                         Some((_, 't')) => val.push('\t'),
                         Some((_, c)) => val.push(c),
                         None => {
-                            return Err(LexError { line, message: "unterminated escape".into() })
+                            return Err(LexError {
+                                line,
+                                message: "unterminated escape".into(),
+                            })
                         }
                     },
                     Some((_, c)) => val.push(c),
                     None => {
-                        return Err(LexError { line, message: "unterminated string".into() })
+                        return Err(LexError {
+                            line,
+                            message: "unterminated string".into(),
+                        })
                     }
                 }
             }
@@ -184,7 +190,10 @@ fn lex_line(mut s: &str, line: usize, out: &mut Vec<(Tok, usize)>) -> Result<(),
                 continue 'outer;
             }
         }
-        return Err(LexError { line, message: format!("unexpected character {c:?}") });
+        return Err(LexError {
+            line,
+            message: format!("unexpected character {c:?}"),
+        });
     }
     Ok(())
 }
@@ -200,8 +209,20 @@ mod tests {
         assert_eq!(
             kinds,
             vec![
-                "def", "gemm", "(", "n", ":", "size", ")", ":", "<newline>", "<indent>", "pass",
-                "<newline>", "<dedent>", "<eof>"
+                "def",
+                "gemm",
+                "(",
+                "n",
+                ":",
+                "size",
+                ")",
+                ":",
+                "<newline>",
+                "<indent>",
+                "pass",
+                "<newline>",
+                "<dedent>",
+                "<eof>"
             ]
         );
     }

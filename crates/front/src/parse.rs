@@ -45,7 +45,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> ParseError {
-        ParseError { line: e.line, message: e.message }
+        ParseError {
+            line: e.line,
+            message: e.message,
+        }
     }
 }
 
@@ -73,7 +76,11 @@ impl ParseEnv {
 
     /// Registers a configuration struct.
     pub fn add_config(&mut self, decl: &exo_core::ConfigDecl) -> &mut Self {
-        let fields = decl.fields.iter().map(|f| (f.name.name(), f.name)).collect();
+        let fields = decl
+            .fields
+            .iter()
+            .map(|f| (f.name.name(), f.name))
+            .collect();
         self.configs.insert(decl.name.name(), (decl.name, fields));
         self
     }
@@ -87,7 +94,12 @@ impl ParseEnv {
 /// Returns the first syntax error.
 pub fn parse_library(src: &str, env: &ParseEnv) -> Result<Vec<Arc<Proc>>, ParseError> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0, env: env.clone(), scopes: Vec::new() };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        env: env.clone(),
+        scopes: Vec::new(),
+    };
     let mut out = Vec::new();
     while !p.at(&Tok::Eof) {
         let proc = p.parse_proc()?;
@@ -104,10 +116,10 @@ pub fn parse_library(src: &str, env: &ParseEnv) -> Result<Vec<Arc<Proc>>, ParseE
 /// Returns the first syntax error.
 pub fn parse_proc(src: &str, env: &ParseEnv) -> Result<Arc<Proc>, ParseError> {
     let procs = parse_library(src, env)?;
-    procs
-        .into_iter()
-        .next()
-        .ok_or_else(|| ParseError { line: 1, message: "no procedure found".into() })
+    procs.into_iter().next().ok_or_else(|| ParseError {
+        line: 1,
+        message: "no procedure found".into(),
+    })
 }
 
 struct Parser {
@@ -140,7 +152,10 @@ impl Parser {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
     }
 
     fn expect_punct(&mut self, p: &'static str) -> Result<(), ParseError> {
@@ -221,7 +236,10 @@ impl Parser {
                     other => return self.err(format!("expected template string, found {other}")),
                 };
                 self.expect_punct(")")?;
-                Some(InstrTemplate { c_instr: template, c_global: None })
+                Some(InstrTemplate {
+                    c_instr: template,
+                    c_global: None,
+                })
             }
             other => return self.err(format!("expected @proc or @instr, found @{other}")),
         };
@@ -259,7 +277,13 @@ impl Parser {
         }
         let body = self.parse_block()?;
         self.scopes.pop();
-        Ok(Arc::new(Proc { name: Sym::new(name), args, preds, body, instr }))
+        Ok(Arc::new(Proc {
+            name: Sym::new(name),
+            args,
+            preds,
+            body,
+            instr,
+        }))
     }
 
     fn parse_arg(&mut self) -> Result<FnArg, ParseError> {
@@ -279,10 +303,15 @@ impl Parser {
                 return self.err("control types cannot be windows");
             }
             let sym = self.bind(&name);
-            return Ok(FnArg { name: sym, ty: ArgType::Ctrl(ct) });
+            return Ok(FnArg {
+                name: sym,
+                ty: ArgType::Ctrl(ct),
+            });
         }
-        let dt = data_type(&ty)
-            .ok_or_else(|| ParseError { line: self.line(), message: format!("unknown type {ty}") })?;
+        let dt = data_type(&ty).ok_or_else(|| ParseError {
+            line: self.line(),
+            message: format!("unknown type {ty}"),
+        })?;
         let shape = if self.at(&Tok::Punct("[")) {
             self.bump();
             let mut dims = Vec::new();
@@ -306,9 +335,20 @@ impl Parser {
         };
         let sym = self.bind_data(&name);
         if shape.is_empty() && !window {
-            Ok(FnArg { name: sym, ty: ArgType::Scalar { ty: dt, mem } })
+            Ok(FnArg {
+                name: sym,
+                ty: ArgType::Scalar { ty: dt, mem },
+            })
         } else {
-            Ok(FnArg { name: sym, ty: ArgType::Tensor { ty: dt, shape, window, mem } })
+            Ok(FnArg {
+                name: sym,
+                ty: ArgType::Tensor {
+                    ty: dt,
+                    shape,
+                    window,
+                    mem,
+                },
+            })
         }
     }
 
@@ -437,7 +477,11 @@ impl Parser {
                 self.expect_punct("=")?;
                 let rhs = self.parse_expr()?;
                 let (config, fsym) = self.config_field(&name, &field)?;
-                Ok(Stmt::WriteConfig { config, field: fsym, rhs })
+                Ok(Stmt::WriteConfig {
+                    config,
+                    field: fsym,
+                    rhs,
+                })
             }
             // alloc: name : ty[shape] @ MEM
             Tok::Punct(":") => {
@@ -469,7 +513,12 @@ impl Parser {
                     MemName::dram()
                 };
                 let sym = self.bind_data(&name);
-                Ok(Stmt::Alloc { name: sym, ty: dt, shape, mem })
+                Ok(Stmt::Alloc {
+                    name: sym,
+                    ty: dt,
+                    shape,
+                    mem,
+                })
             }
             // indexed store: name[idx] = / +=
             Tok::Punct("[") => {
@@ -523,7 +572,11 @@ impl Parser {
                             line: self.line(),
                             message: format!("unknown scalar {name}"),
                         })?;
-                        Ok(Stmt::Assign { buf, idx: vec![], rhs })
+                        Ok(Stmt::Assign {
+                            buf,
+                            idx: vec![],
+                            rhs,
+                        })
                     }
                 }
             }
@@ -534,7 +587,11 @@ impl Parser {
                     line: self.line(),
                     message: format!("unknown scalar {name}"),
                 })?;
-                Ok(Stmt::Reduce { buf, idx: vec![], rhs })
+                Ok(Stmt::Reduce {
+                    buf,
+                    idx: vec![],
+                    rhs,
+                })
             }
             other => self.err(format!("unexpected {other} after {name}")),
         }
@@ -552,9 +609,10 @@ impl Parser {
         // to codegen if materialized)
         let csym = Sym::new(config);
         let fsym = Sym::new(field);
-        self.env
-            .configs
-            .insert(config.to_string(), (csym, [(field.to_string(), fsym)].into()));
+        self.env.configs.insert(
+            config.to_string(),
+            (csym, [(field.to_string(), fsym)].into()),
+        );
         Ok((csym, fsym))
     }
 
@@ -701,14 +759,20 @@ impl Parser {
                 }
             }
             self.bump();
-            return Ok(Expr::BuiltIn { func: Sym::new(name), args });
+            return Ok(Expr::BuiltIn {
+                func: Sym::new(name),
+                args,
+            });
         }
         // config read: Name.field
         if self.at(&Tok::Punct(".")) {
             self.bump();
             let field = self.ident()?;
             let (config, fsym) = self.config_field(&name, &field)?;
-            return Ok(Expr::ReadConfig { config, field: fsym });
+            return Ok(Expr::ReadConfig {
+                config,
+                field: fsym,
+            });
         }
         // indexed read or window
         if self.at(&Tok::Punct("[")) {
@@ -744,7 +808,10 @@ impl Parser {
             message: format!("unknown name {name}"),
         })?;
         if is_data {
-            Ok(Expr::Read { buf: sym, idx: vec![] })
+            Ok(Expr::Read {
+                buf: sym,
+                idx: vec![],
+            })
         } else {
             Ok(Expr::Var(sym))
         }

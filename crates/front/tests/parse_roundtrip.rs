@@ -21,7 +21,10 @@ def gemm(A: f32[128, 128] @ DRAM, B: f32[128, 128] @ DRAM, C: f32[128, 128] @ DR
     assert_eq!(p.args.len(), 3);
     assert_eq!(p.name.name(), "gemm");
     let printed = exo_core::printer::proc_to_string(&p);
-    assert!(printed.contains("C[i, j] += A[i, k] * B[k, j]"), "{printed}");
+    assert!(
+        printed.contains("C[i, j] += A[i, k] * B[k, j]"),
+        "{printed}"
+    );
 }
 
 #[test]
@@ -42,10 +45,15 @@ def gemm(n: size, A: f32[n, n], B: f32[n, n], C: f32[n, n]):
     let mut m = Machine::new();
     let ida = m.alloc_extern("A", DataType::F32, &[n, n], &a);
     let idb = m.alloc_extern("B", DataType::F32, &[n, n], &b);
-    let idc = m.alloc_extern("C", DataType::F32, &[n, n], &vec![0.0; 16]);
+    let idc = m.alloc_extern("C", DataType::F32, &[n, n], &[0.0; 16]);
     m.run(
         &p,
-        &[ArgVal::Int(4), ArgVal::Tensor(ida), ArgVal::Tensor(idb), ArgVal::Tensor(idc)],
+        &[
+            ArgVal::Int(4),
+            ArgVal::Tensor(ida),
+            ArgVal::Tensor(idb),
+            ArgVal::Tensor(idc),
+        ],
     )
     .unwrap();
     let c = m.buffer_values(idc).unwrap();
@@ -83,7 +91,8 @@ def app(A: f32[8, 8] @ DRAM, spad: f32[8, 8] @ SCRATCHPAD):
     let mut m = Machine::new();
     let a = m.alloc_extern("A", DataType::F32, &[8, 8], &vec![2.5; 64]);
     let sp = m.alloc_extern("spad", DataType::F32, &[8, 8], &vec![0.0; 64]);
-    m.run(&procs[1], &[ArgVal::Tensor(a), ArgVal::Tensor(sp)]).unwrap();
+    m.run(&procs[1], &[ArgVal::Tensor(a), ArgVal::Tensor(sp)])
+        .unwrap();
     assert_eq!(m.buffer_values(sp).unwrap(), vec![2.5; 64]);
     assert_eq!(m.trace().len(), 1);
     assert_eq!(m.trace()[0].instr, "ld_data");
@@ -102,7 +111,10 @@ def ld(n: size, src: [f32][n, 16] @ DRAM, dst: [f32][n, 16] @ SPAD):
     let p = parse_proc(src, &ParseEnv::new()).unwrap();
     check_proc(&p).unwrap();
     let printed = exo_core::printer::proc_to_string(&p);
-    assert!(printed.contains("ConfigLoad.src_stride = stride(src, 0)"), "{printed}");
+    assert!(
+        printed.contains("ConfigLoad.src_stride = stride(src, 0)"),
+        "{printed}"
+    );
 }
 
 #[test]

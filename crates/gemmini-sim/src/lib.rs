@@ -27,9 +27,9 @@
 
 use std::collections::HashMap;
 
-use exo_interp::{HwOp, TensorRef};
 #[cfg(test)]
 use exo_interp::TraceArg;
+use exo_interp::{HwOp, TensorRef};
 
 mod report;
 pub use report::{SimReport, UnitBusy};
@@ -100,6 +100,17 @@ pub enum Unit {
     Store,
 }
 
+impl Unit {
+    /// Stable lowercase name (used in JSON reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Load => "load",
+            Unit::Execute => "execute",
+            Unit::Store => "store",
+        }
+    }
+}
+
 #[derive(Clone, Debug)]
 struct Access {
     buf: usize,
@@ -150,11 +161,17 @@ impl Simulator {
 
     /// Runs a full instruction trace and produces the report.
     pub fn run(mut self, trace: &[HwOp]) -> SimReport {
+        let span = exo_obs::Span::enter("gemmini_sim.run");
         for op in trace {
             self.step(op);
         }
         let cycles = self.finish.max(self.cpu_time).max(1);
         let util = self.macs as f64 / (cycles * PEAK_MACS_PER_CYCLE) as f64;
+        drop(
+            span.with_field("instructions", exo_obs::Json::uint(self.instructions))
+                .with_field("cycles", exo_obs::Json::uint(cycles))
+                .with_field("utilization", exo_obs::Json::Float(util)),
+        );
         SimReport {
             cycles,
             macs: self.macs,
@@ -165,7 +182,10 @@ impl Simulator {
             busy: self
                 .unit_busy
                 .iter()
-                .map(|(&u, &b)| UnitBusy { unit: u, busy_cycles: b })
+                .map(|(&u, &b)| UnitBusy {
+                    unit: u,
+                    busy_cycles: b,
+                })
                 .collect(),
         }
     }
@@ -198,7 +218,11 @@ impl Simulator {
     }
 
     fn unit_available(&self, u: Unit) -> u64 {
-        self.unit_free.get(&u).copied().unwrap_or(0).max(self.last_flush)
+        self.unit_free
+            .get(&u)
+            .copied()
+            .unwrap_or(0)
+            .max(self.last_flush)
     }
 
     fn complete(&mut self, u: Unit, start: u64, cost: u64) -> u64 {
@@ -212,7 +236,13 @@ impl Simulator {
     fn config(&mut self) {
         // drain everything, then stall
         let issue = self.issue(1);
-        let drain = self.unit_free.values().copied().max().unwrap_or(0).max(issue);
+        let drain = self
+            .unit_free
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(issue);
         self.last_flush = drain + self.cfg.flush_cost;
         self.cpu_time = self.cpu_time.max(self.last_flush);
         self.finish = self.finish.max(self.last_flush);
@@ -254,7 +284,11 @@ impl Simulator {
         let avail = self.unit_available(Unit::Execute);
         let idle = dep.max(issue) > avail;
         let start = issue.max(avail).max(dep);
-        let cost = if idle { self.cfg.matmul_startup } else { self.cfg.matmul_interval };
+        let cost = if idle {
+            self.cfg.matmul_startup
+        } else {
+            self.cfg.matmul_interval
+        };
         let end = self.complete(Unit::Execute, start, cost);
         self.note(&reads, &writes, end);
     }
@@ -288,10 +322,20 @@ impl Simulator {
 
     fn note(&mut self, reads: &[(usize, u64, u64)], writes: &[(usize, u64, u64)], end: u64) {
         for &(buf, lo, hi) in reads {
-            self.readers.push(Access { buf, lo, hi, time: end });
+            self.readers.push(Access {
+                buf,
+                lo,
+                hi,
+                time: end,
+            });
         }
         for &(buf, lo, hi) in writes {
-            self.writers.push(Access { buf, lo, hi, time: end });
+            self.writers.push(Access {
+                buf,
+                lo,
+                hi,
+                time: end,
+            });
         }
         // prune to bound cost on long traces
         if self.writers.len() > 4096 {
@@ -316,21 +360,30 @@ fn footprint(t: &TensorRef) -> (usize, u64, u64) {
     (t.buf.0, t.base_offset as u64, t.base_offset as u64 + span)
 }
 
-fn tensor_ranges(op: &HwOp, names: &[&str]) -> Vec<(usize, u64, u64)> {
-    names.iter().filter_map(|n| op.tensor_arg(n).map(footprint)).collect()
+/// A set of `(buffer id, start byte, end byte)` footprints.
+type Ranges = Vec<(usize, u64, u64)>;
+
+fn tensor_ranges(op: &HwOp, names: &[&str]) -> Ranges {
+    names
+        .iter()
+        .filter_map(|n| op.tensor_arg(n).map(footprint))
+        .collect()
 }
 
 /// Classifies a DMA op: (reads, writes, total bytes, rows).
-fn dma_ranges(
-    op: &HwOp,
-) -> (Vec<(usize, u64, u64)>, Vec<(usize, u64, u64)>, u64, u64) {
+fn dma_ranges(op: &HwOp) -> (Ranges, Ranges, u64, u64) {
     let src = op.tensor_arg("src");
     let dst = op.tensor_arg("dst");
     let reads: Vec<_> = src.map(footprint).into_iter().collect();
     let writes: Vec<_> = dst.map(footprint).into_iter().collect();
-    let elem = src.or(dst).map(|t| t.dtype.size_bytes() as u64).unwrap_or(1);
-    let volume: u64 =
-        src.or(dst).map(|t| t.shape.iter().product::<usize>() as u64).unwrap_or(0);
+    let elem = src
+        .or(dst)
+        .map(|t| t.dtype.size_bytes() as u64)
+        .unwrap_or(1);
+    let volume: u64 = src
+        .or(dst)
+        .map(|t| t.shape.iter().product::<usize>() as u64)
+        .unwrap_or(0);
     let rows = src
         .or(dst)
         .and_then(|t| t.shape.first().copied())
@@ -399,8 +452,9 @@ mod tests {
     #[test]
     fn config_flushes_serialize() {
         // config before every mvin ⇒ no overlap, way more cycles
-        let fused: Vec<HwOp> =
-            (0..16).flat_map(|i| vec![config(), mvin(0, 1, i * 256)]).collect();
+        let fused: Vec<HwOp> = (0..16)
+            .flat_map(|i| vec![config(), mvin(0, 1, i * 256)])
+            .collect();
         let hoisted: Vec<HwOp> = std::iter::once(config())
             .chain((0..16).map(|i| mvin(0, 1, i * 256)))
             .collect();
@@ -442,8 +496,12 @@ mod tests {
     #[test]
     fn raw_dependency_stalls_compute() {
         // matmul reading a tile must wait for its mvin
-        let trace =
-            vec![config(), mvin(0, 1, 0), mvin(0, 1, 256), matmul((1, 0), (1, 256), (2, 0))];
+        let trace = vec![
+            config(),
+            mvin(0, 1, 0),
+            mvin(0, 1, 256),
+            matmul((1, 0), (1, 256), (2, 0)),
+        ];
         let r = Simulator::new(SimConfig::software()).run(&trace);
         let cfg = SimConfig::software();
         // both loads and the matmul must be serial (matmul reads both)
@@ -460,7 +518,12 @@ mod tests {
         }
         let sw = Simulator::new(SimConfig::software()).run(&trace);
         let hw = Simulator::new(SimConfig::hardware_unroller()).run(&trace);
-        assert!(hw.cycles < sw.cycles, "hw {} !< sw {}", hw.cycles, sw.cycles);
+        assert!(
+            hw.cycles < sw.cycles,
+            "hw {} !< sw {}",
+            hw.cycles,
+            sw.cycles
+        );
         assert!(hw.utilization > sw.utilization);
     }
 
@@ -477,8 +540,12 @@ mod tests {
 
     #[test]
     fn macs_counted_from_matmuls() {
-        let trace =
-            vec![config(), mvin(0, 1, 0), mvin(0, 1, 256), matmul((1, 0), (1, 256), (2, 0))];
+        let trace = vec![
+            config(),
+            mvin(0, 1, 0),
+            mvin(0, 1, 256),
+            matmul((1, 0), (1, 256), (2, 0)),
+        ];
         let r = Simulator::new(SimConfig::software()).run(&trace);
         assert_eq!(r.macs, 16 * 16 * 16);
         assert_eq!(r.instructions, 4);

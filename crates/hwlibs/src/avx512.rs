@@ -48,7 +48,12 @@ impl Avx512Lib {
         let loadu = {
             let mut b = ProcBuilder::new("mm512_loadu_ps");
             let dst = b.window_arg("dst", DataType::F32, vec![Expr::int(LANES)], reg);
-            let src = b.window_arg("src", DataType::F32, vec![Expr::int(LANES)], MemName::dram());
+            let src = b.window_arg(
+                "src",
+                DataType::F32,
+                vec![Expr::int(LANES)],
+                MemName::dram(),
+            );
             b.instr("{dst_data} = _mm512_loadu_ps(&{src_data});");
             let l = b.begin_for("l", Expr::int(0), Expr::int(LANES));
             b.assign(dst, vec![Expr::var(l)], read(src, vec![Expr::var(l)]));
@@ -58,7 +63,12 @@ impl Avx512Lib {
 
         let storeu = {
             let mut b = ProcBuilder::new("mm512_storeu_ps");
-            let dst = b.window_arg("dst", DataType::F32, vec![Expr::int(LANES)], MemName::dram());
+            let dst = b.window_arg(
+                "dst",
+                DataType::F32,
+                vec![Expr::int(LANES)],
+                MemName::dram(),
+            );
             let src = b.window_arg("src", DataType::F32, vec![Expr::int(LANES)], reg);
             b.instr("_mm512_storeu_ps(&{dst_data}, {src_data});");
             let l = b.begin_for("l", Expr::int(0), Expr::int(LANES));
@@ -211,10 +221,14 @@ mod tests {
     fn fmadd_semantics() {
         let lib = Avx512Lib::new();
         let mut m = Machine::new();
-        let a = m.alloc_extern("a", DataType::F32, &[16], &vec![2.0; 16]);
-        let b = m.alloc_extern("b", DataType::F32, &[16], &vec![3.0; 16]);
-        let c = m.alloc_extern("c", DataType::F32, &[16], &vec![1.0; 16]);
-        m.run(&lib.fmadd, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)]).unwrap();
+        let a = m.alloc_extern("a", DataType::F32, &[16], &[2.0; 16]);
+        let b = m.alloc_extern("b", DataType::F32, &[16], &[3.0; 16]);
+        let c = m.alloc_extern("c", DataType::F32, &[16], &[1.0; 16]);
+        m.run(
+            &lib.fmadd,
+            &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)],
+        )
+        .unwrap();
         assert_eq!(m.buffer_values(c).unwrap(), vec![7.0; 16]);
         assert_eq!(m.trace()[0].instr, "mm512_fmadd_ps");
     }
@@ -225,16 +239,23 @@ mod tests {
         let mut m = Machine::new();
         let src = m.alloc_extern("src", DataType::F32, &[5], &[1., 2., 3., 4., 5.]);
         let dst = m.alloc_extern_uninit("dst", DataType::F32, &[5]);
-        m.run(&lib.mask_loadu, &[ArgVal::Int(5), ArgVal::Tensor(dst), ArgVal::Tensor(src)])
-            .unwrap();
+        m.run(
+            &lib.mask_loadu,
+            &[ArgVal::Int(5), ArgVal::Tensor(dst), ArgVal::Tensor(src)],
+        )
+        .unwrap();
         assert_eq!(m.buffer_values(dst).unwrap(), vec![1., 2., 3., 4., 5.]);
         // n > 16 violates the precondition
-        let big_src = m.alloc_extern("bs", DataType::F32, &[20], &vec![0.0; 20]);
+        let big_src = m.alloc_extern("bs", DataType::F32, &[20], &[0.0; 20]);
         let big_dst = m.alloc_extern_uninit("bd", DataType::F32, &[20]);
         assert!(m
             .run(
                 &lib.mask_loadu,
-                &[ArgVal::Int(20), ArgVal::Tensor(big_dst), ArgVal::Tensor(big_src)]
+                &[
+                    ArgVal::Int(20),
+                    ArgVal::Tensor(big_dst),
+                    ArgVal::Tensor(big_src)
+                ]
             )
             .is_err());
     }

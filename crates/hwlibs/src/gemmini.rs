@@ -120,15 +120,26 @@ impl GemminiLib {
             let mut b = ProcBuilder::new("gemmini_mvin");
             let n = b.size("n");
             let m = b.size("m");
-            let src =
-                b.window_arg("src", DataType::I8, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-            let dst =
-                b.window_arg("dst", DataType::I8, vec![Expr::var(n), Expr::var(m)], scratchpad);
+            let src = b.window_arg(
+                "src",
+                DataType::I8,
+                vec![Expr::var(n), Expr::var(m)],
+                MemName::dram(),
+            );
+            let dst = b.window_arg(
+                "dst",
+                DataType::I8,
+                vec![Expr::var(n), Expr::var(m)],
+                scratchpad,
+            );
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.assert_pred(
-                Expr::ReadConfig { config: config_ld.0, field: config_ld.1 }
-                    .eq(Expr::Stride { buf: src, dim: 0 }),
+                Expr::ReadConfig {
+                    config: config_ld.0,
+                    field: config_ld.1,
+                }
+                .eq(Expr::Stride { buf: src, dim: 0 }),
             );
             b.instr("gemmini_extended_mvin({src}.data, (uint64_t) {dst}.data, {m}, {n});");
             let i = b.begin_for("i", Expr::int(0), Expr::var(n));
@@ -146,15 +157,26 @@ impl GemminiLib {
             let mut b = ProcBuilder::new("gemmini_mvin2");
             let n = b.size("n");
             let m = b.size("m");
-            let src =
-                b.window_arg("src", DataType::I8, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-            let dst =
-                b.window_arg("dst", DataType::I8, vec![Expr::var(n), Expr::var(m)], scratchpad);
+            let src = b.window_arg(
+                "src",
+                DataType::I8,
+                vec![Expr::var(n), Expr::var(m)],
+                MemName::dram(),
+            );
+            let dst = b.window_arg(
+                "dst",
+                DataType::I8,
+                vec![Expr::var(n), Expr::var(m)],
+                scratchpad,
+            );
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.assert_pred(
-                Expr::ReadConfig { config: config_ld2.0, field: config_ld2.1 }
-                    .eq(Expr::Stride { buf: src, dim: 0 }),
+                Expr::ReadConfig {
+                    config: config_ld2.0,
+                    field: config_ld2.1,
+                }
+                .eq(Expr::Stride { buf: src, dim: 0 }),
             );
             b.instr("gemmini_extended_mvin2({src}.data, (uint64_t) {dst}.data, {m}, {n});");
             let i = b.begin_for("i", Expr::int(0), Expr::var(n));
@@ -178,14 +200,24 @@ impl GemminiLib {
                 vec![Expr::var(n), Expr::var(m)],
                 MemName::dram(),
             );
-            let dst = b.window_arg("dst", DataType::I32, vec![Expr::var(n), Expr::var(m)], accum);
+            let dst = b.window_arg(
+                "dst",
+                DataType::I32,
+                vec![Expr::var(n), Expr::var(m)],
+                accum,
+            );
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.assert_pred(
-                Expr::ReadConfig { config: config_ld_acc.0, field: config_ld_acc.1 }
-                    .eq(Expr::Stride { buf: src, dim: 0 }),
+                Expr::ReadConfig {
+                    config: config_ld_acc.0,
+                    field: config_ld_acc.1,
+                }
+                .eq(Expr::Stride { buf: src, dim: 0 }),
             );
-            b.instr("gemmini_extended_mvin3({src}.data, (uint64_t) {dst}.data | ACC_BASE, {m}, {n});");
+            b.instr(
+                "gemmini_extended_mvin3({src}.data, (uint64_t) {dst}.data | ACC_BASE, {m}, {n});",
+            );
             let i = b.begin_for("i", Expr::int(0), Expr::var(n));
             let j = b.begin_for("j", Expr::int(0), Expr::var(m));
             b.assign(
@@ -201,7 +233,12 @@ impl GemminiLib {
             let mut b = ProcBuilder::new(name);
             let n = b.size("n");
             let m = b.size("m");
-            let src = b.window_arg("src", DataType::I32, vec![Expr::var(n), Expr::var(m)], accum);
+            let src = b.window_arg(
+                "src",
+                DataType::I32,
+                vec![Expr::var(n), Expr::var(m)],
+                accum,
+            );
             let dst = b.window_arg(
                 "dst",
                 DataType::I8,
@@ -211,8 +248,11 @@ impl GemminiLib {
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.assert_pred(
-                Expr::ReadConfig { config: config_st.0, field: config_st.1 }
-                    .eq(Expr::Stride { buf: dst, dim: 0 }),
+                Expr::ReadConfig {
+                    config: config_st.0,
+                    field: config_st.1,
+                }
+                .eq(Expr::Stride { buf: dst, dim: 0 }),
             );
             b.instr(if relu {
                 "gemmini_extended_mvout_relu({dst}.data, (uint64_t) {src}.data, {m}, {n});"
@@ -223,7 +263,10 @@ impl GemminiLib {
             let j = b.begin_for("j", Expr::int(0), Expr::var(m));
             let v = read(src, vec![Expr::var(i), Expr::var(j)]);
             let v = if relu {
-                Expr::BuiltIn { func: Sym::new("relu"), args: vec![v] }
+                Expr::BuiltIn {
+                    func: Sym::new("relu"),
+                    args: vec![v],
+                }
             } else {
                 v
             };
@@ -238,7 +281,12 @@ impl GemminiLib {
             let mut b = ProcBuilder::new(name);
             let n = b.size("n");
             let m = b.size("m");
-            let src = b.window_arg("src", DataType::I32, vec![Expr::var(n), Expr::var(m)], accum);
+            let src = b.window_arg(
+                "src",
+                DataType::I32,
+                vec![Expr::var(n), Expr::var(m)],
+                accum,
+            );
             let dst = b.window_arg(
                 "dst",
                 DataType::I32,
@@ -248,8 +296,11 @@ impl GemminiLib {
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.assert_pred(
-                Expr::ReadConfig { config: config_st.0, field: config_st.1 }
-                    .eq(Expr::Stride { buf: dst, dim: 0 }),
+                Expr::ReadConfig {
+                    config: config_st.0,
+                    field: config_st.1,
+                }
+                .eq(Expr::Stride { buf: dst, dim: 0 }),
             );
             b.instr(if relu {
                 "gemmini_extended_mvout_acc_relu({dst}.data, (uint64_t) {src}.data, {m}, {n});"
@@ -260,7 +311,10 @@ impl GemminiLib {
             let j = b.begin_for("j", Expr::int(0), Expr::var(m));
             let v = read(src, vec![Expr::var(i), Expr::var(j)]);
             let v = if relu {
-                Expr::BuiltIn { func: Sym::new("relu"), args: vec![v] }
+                Expr::BuiltIn {
+                    func: Sym::new("relu"),
+                    args: vec![v],
+                }
             } else {
                 v
             };
@@ -275,7 +329,12 @@ impl GemminiLib {
             let mut b = ProcBuilder::new("gemmini_zero_acc");
             let n = b.size("n");
             let m = b.size("m");
-            let dst = b.window_arg("dst", DataType::I32, vec![Expr::var(n), Expr::var(m)], accum);
+            let dst = b.window_arg(
+                "dst",
+                DataType::I32,
+                vec![Expr::var(n), Expr::var(m)],
+                accum,
+            );
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
             b.instr("gemmini_zero((uint64_t) {dst}.data, {m}, {n});");
@@ -291,8 +350,18 @@ impl GemminiLib {
             let n = b.size("n");
             let m = b.size("m");
             let k = b.size("k");
-            let a = b.window_arg("a", DataType::I8, vec![Expr::var(n), Expr::var(k)], scratchpad);
-            let bb = b.window_arg("b", DataType::I8, vec![Expr::var(k), Expr::var(m)], scratchpad);
+            let a = b.window_arg(
+                "a",
+                DataType::I8,
+                vec![Expr::var(n), Expr::var(k)],
+                scratchpad,
+            );
+            let bb = b.window_arg(
+                "b",
+                DataType::I8,
+                vec![Expr::var(k), Expr::var(m)],
+                scratchpad,
+            );
             let c = b.window_arg("c", DataType::I32, vec![Expr::var(n), Expr::var(m)], accum);
             b.assert_pred(Expr::var(n).le(Expr::int(DIM)));
             b.assert_pred(Expr::var(m).le(Expr::int(DIM)));
@@ -409,7 +478,12 @@ mod tests {
         m.run(&lib.config_ld_instr, &[ArgVal::Int(8)]).unwrap();
         m.run(
             &lib.mvin,
-            &[ArgVal::Int(4), ArgVal::Int(8), ArgVal::Tensor(src), ArgVal::Tensor(dst)],
+            &[
+                ArgVal::Int(4),
+                ArgVal::Int(8),
+                ArgVal::Tensor(src),
+                ArgVal::Tensor(dst),
+            ],
         )
         .unwrap();
         assert_eq!(m.buffer_values(dst).unwrap(), vec![1.0; 32]);
@@ -453,7 +527,12 @@ mod tests {
         let e = m
             .run(
                 &lib.mvin,
-                &[ArgVal::Int(4), ArgVal::Int(8), ArgVal::Tensor(src), ArgVal::Tensor(dst)],
+                &[
+                    ArgVal::Int(4),
+                    ArgVal::Int(8),
+                    ArgVal::Tensor(src),
+                    ArgVal::Tensor(dst),
+                ],
             )
             .unwrap_err();
         assert!(e.message.contains("assertion failed"), "{e}");

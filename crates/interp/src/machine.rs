@@ -35,7 +35,9 @@ impl fmt::Display for InterpError {
 impl std::error::Error for InterpError {}
 
 fn err<T>(message: impl Into<String>) -> Result<T, InterpError> {
-    Err(InterpError { message: message.into() })
+    Err(InterpError {
+        message: message.into(),
+    })
 }
 
 /// An argument passed to [`Machine::run`].
@@ -125,7 +127,11 @@ impl Machine {
         self.bufs[id.0]
             .data
             .iter()
-            .map(|v| v.ok_or_else(|| InterpError { message: "uninitialized element".into() }))
+            .map(|v| {
+                v.ok_or_else(|| InterpError {
+                    message: "uninitialized element".into(),
+                })
+            })
             .collect()
     }
 
@@ -194,7 +200,11 @@ impl Machine {
                 };
                 trace_args.push((formal.name.name(), ta));
             }
-            self.trace.push(HwOp { instr: proc.name.name(), args: trace_args });
+            exo_obs::counter_add(&format!("interp.instr.{}", proc.name.name()), 1);
+            self.trace.push(HwOp {
+                instr: proc.name.name(),
+                args: trace_args,
+            });
             if !self.execute_instr_bodies {
                 return Ok(());
             }
@@ -318,7 +328,12 @@ impl Machine {
                 }
                 Ok(())
             }
-            Stmt::Alloc { name, ty, shape, mem } => {
+            Stmt::Alloc {
+                name,
+                ty,
+                shape,
+                mem,
+            } => {
                 let mut dims = Vec::with_capacity(shape.len());
                 for e in shape {
                     let n = self.eval_int(e, env)?;
@@ -330,7 +345,10 @@ impl Machine {
                 let buf = BufferData::new(*name, *ty, dims.clone(), *mem);
                 let id = BufId(self.bufs.len());
                 self.bufs.push(buf);
-                shadow.push((*name, env.insert(*name, Slot::View(WindowVal::whole(id, &dims)))));
+                shadow.push((
+                    *name,
+                    env.insert(*name, Slot::View(WindowVal::whole(id, &dims))),
+                ));
                 Ok(())
             }
             Stmt::WindowDef { name, rhs } => {
@@ -368,7 +386,11 @@ impl Machine {
             callee_env.insert(formal.name, slot);
         }
         if proc.is_instr() {
-            self.trace.push(HwOp { instr: proc.name.name(), args: trace_args });
+            exo_obs::counter_add(&format!("interp.instr.{}", proc.name.name()), 1);
+            self.trace.push(HwOp {
+                instr: proc.name.name(),
+                args: trace_args,
+            });
             if !self.execute_instr_bodies {
                 return Ok(());
             }
@@ -486,15 +508,17 @@ impl Machine {
                     None => err(format!("stride dimension {dim} out of range for {buf}")),
                 }
             }
-            Expr::ReadConfig { config, field } => {
-                self.configs.get(&(*config, *field)).copied().ok_or_else(|| InterpError {
+            Expr::ReadConfig { config, field } => self
+                .configs
+                .get(&(*config, *field))
+                .copied()
+                .ok_or_else(|| InterpError {
                     message: format!(
                         "read of unset configuration {}.{}",
                         config.name(),
                         field.name()
                     ),
-                })
-            }
+                }),
             _ => err("data expression in control position"),
         }
     }
@@ -553,11 +577,7 @@ impl Machine {
     }
 
     /// Evaluates an integer control expression.
-    fn eval_int(
-        &mut self,
-        e: &Expr,
-        env: &mut HashMap<Sym, Slot>,
-    ) -> Result<i64, InterpError> {
+    fn eval_int(&mut self, e: &Expr, env: &mut HashMap<Sym, Slot>) -> Result<i64, InterpError> {
         match self.eval_ctrl(e, env)? {
             CtrlVal::Int(v) => Ok(v),
             CtrlVal::Bool(_) => err("expected integer, got boolean"),
@@ -565,11 +585,7 @@ impl Machine {
     }
 
     /// Evaluates a boolean control expression.
-    fn eval_bool(
-        &mut self,
-        e: &Expr,
-        env: &mut HashMap<Sym, Slot>,
-    ) -> Result<bool, InterpError> {
+    fn eval_bool(&mut self, e: &Expr, env: &mut HashMap<Sym, Slot>) -> Result<bool, InterpError> {
         match self.eval_ctrl(e, env)? {
             CtrlVal::Bool(v) => Ok(v),
             CtrlVal::Int(_) => err("expected boolean, got integer"),
@@ -577,11 +593,7 @@ impl Machine {
     }
 
     /// Evaluates a data expression to a value.
-    fn eval_data(
-        &mut self,
-        e: &Expr,
-        env: &mut HashMap<Sym, Slot>,
-    ) -> Result<f64, InterpError> {
+    fn eval_data(&mut self, e: &Expr, env: &mut HashMap<Sym, Slot>) -> Result<f64, InterpError> {
         match e {
             Expr::Lit(Lit::Float(v)) => Ok(*v),
             Expr::Lit(Lit::Int(v)) => Ok(*v as f64),
@@ -592,9 +604,11 @@ impl Machine {
                     _ => return err(format!("read of unknown buffer {buf}")),
                 };
                 let rank = self.bufs[view.buf.0].shape.len();
-                let bcoords = view.to_buffer_coords(&coords, rank).ok_or_else(|| {
-                    InterpError { message: format!("out-of-bounds read of {buf} at {coords:?}") }
-                })?;
+                let bcoords = view
+                    .to_buffer_coords(&coords, rank)
+                    .ok_or_else(|| InterpError {
+                        message: format!("out-of-bounds read of {buf} at {coords:?}"),
+                    })?;
                 let data = &self.bufs[view.buf.0];
                 let off = data.offset(&bcoords).ok_or_else(|| InterpError {
                     message: format!("out-of-bounds read of {buf} at {bcoords:?}"),
@@ -652,7 +666,11 @@ impl Machine {
                     }
                     fixed[dim.buf_dim] = dim.offset + c;
                 }
-                Ok(WindowVal { buf: view.buf, fixed, dims: vec![] })
+                Ok(WindowVal {
+                    buf: view.buf,
+                    fixed,
+                    dims: vec![],
+                })
             }
             Expr::Window { buf, coords } => {
                 let view = match env.get(buf) {
@@ -689,7 +707,11 @@ impl Machine {
                         }
                     }
                 }
-                Ok(WindowVal { buf: view.buf, fixed, dims })
+                Ok(WindowVal {
+                    buf: view.buf,
+                    fixed,
+                    dims,
+                })
             }
             // an arbitrary scalar data expression: materialize a 0-d temp
             _ => {
@@ -773,8 +795,15 @@ mod tests {
         let ida = m.alloc_extern("A", DataType::F32, &[n, n], &a);
         let idb = m.alloc_extern("B", DataType::F32, &[n, n], &bv);
         let idc = m.alloc_extern("C", DataType::F32, &[n, n], &vec![0.0; n * n]);
-        m.run(&naive_gemm(n), &[ArgVal::Tensor(ida), ArgVal::Tensor(idb), ArgVal::Tensor(idc)])
-            .unwrap();
+        m.run(
+            &naive_gemm(n),
+            &[
+                ArgVal::Tensor(ida),
+                ArgVal::Tensor(idb),
+                ArgVal::Tensor(idc),
+            ],
+        )
+        .unwrap();
         let c = m.buffer_values(idc).unwrap();
         for i in 0..n {
             for j in 0..n {
@@ -827,11 +856,7 @@ mod tests {
         // y = x[1:3]; y[0] = 7  ⇒  x[1] == 7
         let mut b = ProcBuilder::new("wintest");
         let x = b.tensor("x", DataType::F32, vec![Expr::int(4)]);
-        let y = b.window(
-            "y",
-            x,
-            vec![WAccess::Interval(Expr::int(1), Expr::int(3))],
-        );
+        let y = b.window("y", x, vec![WAccess::Interval(Expr::int(1), Expr::int(3))]);
         b.assign(y, vec![Expr::int(0)], Expr::float(7.0));
         let p = b.finish();
         let mut m = Machine::new();
@@ -899,7 +924,10 @@ mod tests {
         // (i + 7) / 2 == 3, (i + 7) % 2 == 1 at i = 0
         b.assign(
             out,
-            vec![Expr::var(i).add(Expr::int(7)).div(Expr::int(2)).sub(Expr::int(3))],
+            vec![Expr::var(i)
+                .add(Expr::int(7))
+                .div(Expr::int(2))
+                .sub(Expr::int(3))],
             Expr::float(1.0),
         );
         b.assign(

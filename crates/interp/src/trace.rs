@@ -35,7 +35,7 @@ impl TensorRef {
 
     /// Whether the reference is a scalar (rank 0).
     pub fn is_empty(&self) -> bool {
-        self.shape.iter().any(|&n| n == 0)
+        self.shape.contains(&0)
     }
 }
 

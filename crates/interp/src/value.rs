@@ -59,7 +59,13 @@ impl BufferData {
     /// Creates an uninitialized buffer.
     pub fn new(name: Sym, dtype: DataType, shape: Vec<usize>, mem: MemName) -> BufferData {
         let n = shape.iter().product::<usize>().max(1);
-        BufferData { name, dtype, shape, data: vec![None; n], mem }
+        BufferData {
+            name,
+            dtype,
+            shape,
+            data: vec![None; n],
+            mem,
+        }
     }
 
     /// Row-major strides of the buffer.
@@ -142,7 +148,11 @@ impl WindowVal {
             dims: shape
                 .iter()
                 .enumerate()
-                .map(|(d, &len)| WinDim { buf_dim: d, offset: 0, len })
+                .map(|(d, &len)| WinDim {
+                    buf_dim: d,
+                    offset: 0,
+                    len,
+                })
                 .collect(),
         }
     }
@@ -172,7 +182,7 @@ impl WindowVal {
             }
             out[w.buf_dim] = w.offset + i;
         }
-        if out.iter().any(|&c| c == usize::MAX) {
+        if out.contains(&usize::MAX) {
             return None;
         }
         Some(out)
@@ -215,7 +225,11 @@ mod tests {
         let w = WindowVal {
             buf: BufId(0),
             fixed: vec![usize::MAX, 2],
-            dims: vec![WinDim { buf_dim: 0, offset: 1, len: 2 }],
+            dims: vec![WinDim {
+                buf_dim: 0,
+                offset: 1,
+                len: 2,
+            }],
         };
         assert_eq!(w.to_buffer_coords(&[0], 2), Some(vec![1, 2]));
         assert_eq!(w.to_buffer_coords(&[1], 2), Some(vec![2, 2]));

@@ -36,7 +36,13 @@ pub struct ConvShape {
 impl ConvShape {
     /// A Fig. 4b shape with batch 4 and 3×3 kernels.
     pub fn fig4b(out_dim: i64, oc: i64, ic: i64) -> ConvShape {
-        ConvShape { batch: 4, out_dim, oc, ic, kdim: 3 }
+        ConvShape {
+            batch: 4,
+            out_dim,
+            oc,
+            ic,
+            kdim: 3,
+        }
     }
 
     /// Input spatial size (no padding, unit stride).
@@ -85,12 +91,22 @@ pub fn naive_conv_typed(s: &ConvShape, in_ty: DataType, out_ty: DataType) -> Arc
     let w = b.tensor(
         "W",
         in_ty,
-        vec![Expr::int(s.kdim), Expr::int(s.kdim), Expr::int(s.ic), Expr::int(s.oc)],
+        vec![
+            Expr::int(s.kdim),
+            Expr::int(s.kdim),
+            Expr::int(s.ic),
+            Expr::int(s.oc),
+        ],
     );
     let c = b.tensor(
         "C",
         out_ty,
-        vec![Expr::int(s.batch), Expr::int(s.out_dim), Expr::int(s.out_dim), Expr::int(s.oc)],
+        vec![
+            Expr::int(s.batch),
+            Expr::int(s.out_dim),
+            Expr::int(s.out_dim),
+            Expr::int(s.oc),
+        ],
     );
     let bb = b.begin_for("b", Expr::int(0), Expr::int(s.batch));
     let oy = b.begin_for("oy", Expr::int(0), Expr::int(s.out_dim));
@@ -111,9 +127,18 @@ pub fn naive_conv_typed(s: &ConvShape, in_ty: DataType, out_ty: DataType) -> Arc
                 Expr::var(ic),
             ],
         )
-        .mul(read(w, vec![Expr::var(ky), Expr::var(kx), Expr::var(ic), Expr::var(oc)])),
+        .mul(read(
+            w,
+            vec![Expr::var(ky), Expr::var(kx), Expr::var(ic), Expr::var(oc)],
+        )),
     );
-    b.end_for().end_for().end_for().end_for().end_for().end_for().end_for();
+    b.end_for()
+        .end_for()
+        .end_for()
+        .end_for()
+        .end_for()
+        .end_for()
+        .end_for();
     b.finish()
 }
 
@@ -184,7 +209,11 @@ pub fn schedule_conv(
     // weight panel (ky, kx, 16 ic, all oc) per reduction step: stage so
     // every pixel tile in the row reuses it. When the row is a single
     // tile the oxo loop folds away, so the oco loop is the anchor.
-    let stage_at = if s.out_dim / oxt >= 2 { "for oxo in _: _" } else { "for oco in _: _" };
+    let stage_at = if s.out_dim / oxt >= 2 {
+        "for oxo in _: _"
+    } else {
+        "for oco in _: _"
+    };
     let p = p.stage_mem(
         stage_at,
         "W",
@@ -207,10 +236,7 @@ pub fn schedule_conv(
         &[
             unit(Expr::var(b_sym)),
             unit(Expr::var(oy).add(Expr::var(ky))),
-            (
-                Expr::var(kx),
-                Expr::var(kx).add(Expr::int(s.out_dim)),
-            ),
+            (Expr::var(kx), Expr::var(kx).add(Expr::int(s.out_dim))),
             (
                 Expr::var(ico).mul(Expr::int(16)),
                 Expr::var(ico).mul(Expr::int(16)).add(Expr::int(16)),
@@ -227,10 +253,33 @@ pub fn schedule_conv(
     let c_sym = p.lookup_data_sym("C").expect("C");
     let first_pat = "for b in _: _";
     let p = p
-        .configwrite_before(first_pat, lib.config_ld.0, lib.config_ld.1, Expr::Stride { buf: in_sym, dim: 2 })?
-        .configwrite_before(first_pat, lib.config_ld2.0, lib.config_ld2.1, Expr::Stride { buf: w_sym, dim: 2 })?
-        .configwrite_before(first_pat, lib.config_ld_acc.0, lib.config_ld_acc.1, Expr::Stride { buf: c_sym, dim: 2 })?
-        .configwrite_before(first_pat, lib.config_st.0, lib.config_st.1, Expr::Stride { buf: c_sym, dim: 2 })?;
+        .configwrite_before(
+            first_pat,
+            lib.config_ld.0,
+            lib.config_ld.1,
+            Expr::Stride {
+                buf: in_sym,
+                dim: 2,
+            },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_ld2.0,
+            lib.config_ld2.1,
+            Expr::Stride { buf: w_sym, dim: 2 },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_ld_acc.0,
+            lib.config_ld_acc.1,
+            Expr::Stride { buf: c_sym, dim: 2 },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_st.0,
+            lib.config_st.1,
+            Expr::Stride { buf: c_sym, dim: 2 },
+        )?;
 
     // ---- instruction selection ----
     // res load (out_dim × oc): tile and map to mvin_acc
@@ -275,9 +324,24 @@ pub fn trace_conv(proc: &Proc, s: &ConvShape, functional: bool) -> Vec<HwOp> {
     let w_len = (s.kdim * s.kdim * s.ic * s.oc) as usize;
     let c_len = (s.batch * s.out_dim * s.out_dim * s.oc) as usize;
     let (input, w, c);
-    let in_shape = [s.batch as usize, s.in_dim() as usize, s.in_dim() as usize, s.ic as usize];
-    let w_shape = [s.kdim as usize, s.kdim as usize, s.ic as usize, s.oc as usize];
-    let c_shape = [s.batch as usize, s.out_dim as usize, s.out_dim as usize, s.oc as usize];
+    let in_shape = [
+        s.batch as usize,
+        s.in_dim() as usize,
+        s.in_dim() as usize,
+        s.ic as usize,
+    ];
+    let w_shape = [
+        s.kdim as usize,
+        s.kdim as usize,
+        s.ic as usize,
+        s.oc as usize,
+    ];
+    let c_shape = [
+        s.batch as usize,
+        s.out_dim as usize,
+        s.out_dim as usize,
+        s.oc as usize,
+    ];
     if functional {
         let iv: Vec<f64> = (0..in_len).map(|i| ((i % 5) as f64) - 2.0).collect();
         let wv: Vec<f64> = (0..w_len).map(|i| ((i % 7) as f64) - 3.0).collect();
@@ -290,7 +354,10 @@ pub fn trace_conv(proc: &Proc, s: &ConvShape, functional: bool) -> Vec<HwOp> {
         c = machine.alloc_extern_uninit("C", DataType::I32, &c_shape);
     }
     machine
-        .run(proc, &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)])
+        .run(
+            proc,
+            &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)],
+        )
         .expect("scheduled conv must run");
     machine.take_trace()
 }
@@ -313,7 +380,10 @@ pub fn old_lib_conv_trace(s: &ConvShape) -> Vec<HwOp> {
             strides: vec![stride as usize, 1],
         })
     };
-    let config = |name: &str| HwOp { instr: name.into(), args: vec![("s".into(), int(s.ic))] };
+    let config = |name: &str| HwOp {
+        instr: name.into(),
+        args: vec![("s".into(), int(s.ic))],
+    };
     for b in 0..s.batch {
         for oy in 0..s.out_dim {
             for oxo in 0..s.out_dim / oxt {
@@ -326,7 +396,18 @@ pub fn old_lib_conv_trace(s: &ConvShape) -> Vec<HwOp> {
                         args: vec![
                             ("n".into(), int(oxt)),
                             ("m".into(), int(16)),
-                            ("src".into(), t(2, ((b * s.out_dim + oy) * s.out_dim + oxo * oxt) * s.oc + oco * 16, oxt, 16, s.oc, true)),
+                            (
+                                "src".into(),
+                                t(
+                                    2,
+                                    ((b * s.out_dim + oy) * s.out_dim + oxo * oxt) * s.oc
+                                        + oco * 16,
+                                    oxt,
+                                    16,
+                                    s.oc,
+                                    true,
+                                ),
+                            ),
                             ("dst".into(), t(5, 0, oxt, 16, 16, true)),
                         ],
                     });
@@ -338,7 +419,21 @@ pub fn old_lib_conv_trace(s: &ConvShape) -> Vec<HwOp> {
                                     args: vec![
                                         ("n".into(), int(oxt)),
                                         ("m".into(), int(16)),
-                                        ("src".into(), t(0, ((b * s.in_dim() + oy + ky) * s.in_dim() + oxo * oxt + kx) * s.ic + ico * 16, oxt, 16, s.ic, false)),
+                                        (
+                                            "src".into(),
+                                            t(
+                                                0,
+                                                ((b * s.in_dim() + oy + ky) * s.in_dim()
+                                                    + oxo * oxt
+                                                    + kx)
+                                                    * s.ic
+                                                    + ico * 16,
+                                                oxt,
+                                                16,
+                                                s.ic,
+                                                false,
+                                            ),
+                                        ),
                                         ("dst".into(), t(3, 0, oxt, 16, 16, false)),
                                     ],
                                 });
@@ -347,7 +442,18 @@ pub fn old_lib_conv_trace(s: &ConvShape) -> Vec<HwOp> {
                                     args: vec![
                                         ("n".into(), int(16)),
                                         ("m".into(), int(16)),
-                                        ("src".into(), t(1, ((ky * s.kdim + kx) * s.ic + ico * 16) * s.oc + oco * 16, 16, 16, s.oc, false)),
+                                        (
+                                            "src".into(),
+                                            t(
+                                                1,
+                                                ((ky * s.kdim + kx) * s.ic + ico * 16) * s.oc
+                                                    + oco * 16,
+                                                16,
+                                                16,
+                                                s.oc,
+                                                false,
+                                            ),
+                                        ),
                                         ("dst".into(), t(4, 0, 16, 16, 16, false)),
                                     ],
                                 });
@@ -372,7 +478,18 @@ pub fn old_lib_conv_trace(s: &ConvShape) -> Vec<HwOp> {
                             ("n".into(), int(oxt)),
                             ("m".into(), int(16)),
                             ("src".into(), t(5, 0, oxt, 16, 16, true)),
-                            ("dst".into(), t(2, ((b * s.out_dim + oy) * s.out_dim + oxo * oxt) * s.oc + oco * 16, oxt, 16, s.oc, true)),
+                            (
+                                "dst".into(),
+                                t(
+                                    2,
+                                    ((b * s.out_dim + oy) * s.out_dim + oxo * oxt) * s.oc
+                                        + oco * 16,
+                                    oxt,
+                                    16,
+                                    s.oc,
+                                    true,
+                                ),
+                            ),
                         ],
                     });
                 }
@@ -393,7 +510,13 @@ mod tests {
         let lib = GemminiLib::new();
         let st: StateRef = Arc::new(Mutex::new(SchedState::default()));
         // small but non-degenerate: every tiled loop has ≥ 2 iterations
-        let shape = ConvShape { batch: 2, out_dim: 8, oc: 32, ic: 32, kdim: 3 };
+        let shape = ConvShape {
+            batch: 2,
+            out_dim: 8,
+            oc: 32,
+            ic: 32,
+            kdim: 3,
+        };
         let p = schedule_conv(&lib, &st, &shape).expect("schedule");
         assert!(p.show().contains("gemmini_matmul("), "{}", p.show());
 
@@ -435,7 +558,10 @@ mod tests {
                 &vec![0.0; c_len],
             );
             machine
-                .run(proc, &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)])
+                .run(
+                    proc,
+                    &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)],
+                )
                 .expect("run");
             machine.buffer_values(c).unwrap()
         };
@@ -446,7 +572,13 @@ mod tests {
     fn conv_trace_hoists_configs() {
         let lib = GemminiLib::new();
         let st: StateRef = Arc::new(Mutex::new(SchedState::default()));
-        let shape = ConvShape { batch: 2, out_dim: 8, oc: 32, ic: 32, kdim: 3 };
+        let shape = ConvShape {
+            batch: 2,
+            out_dim: 8,
+            oc: 32,
+            ic: 32,
+            kdim: 3,
+        };
         let p = schedule_conv(&lib, &st, &shape).expect("schedule");
         let trace = trace_conv(p.proc(), &shape, false);
         let configs: Vec<usize> = trace
@@ -457,7 +589,10 @@ mod tests {
             .collect();
         assert_eq!(configs.len(), 4);
         assert!(configs.iter().all(|&i| i < 4));
-        let matmuls = trace.iter().filter(|op| op.instr == "gemmini_matmul").count();
+        let matmuls = trace
+            .iter()
+            .filter(|op| op.instr == "gemmini_matmul")
+            .count();
         // b·oy·(ky·kx)·ico·oxo·oco = 2·8·9·2·1·2 = 576
         assert_eq!(matmuls, 576);
     }
@@ -467,6 +602,16 @@ mod tests {
         assert_eq!(ConvShape::fig4b(56, 64, 64).ox_tile(), 14);
         assert_eq!(ConvShape::fig4b(28, 128, 128).ox_tile(), 14);
         assert_eq!(ConvShape::fig4b(14, 256, 256).ox_tile(), 14);
-        assert_eq!(ConvShape { batch: 2, out_dim: 8, oc: 32, ic: 32, kdim: 3 }.ox_tile(), 8);
+        assert_eq!(
+            ConvShape {
+                batch: 2,
+                out_dim: 8,
+                oc: 32,
+                ic: 32,
+                kdim: 3
+            }
+            .ox_tile(),
+            8
+        );
     }
 }

@@ -93,7 +93,10 @@ pub fn schedule_matmul(
             "for jo in _: _",
             "B",
             &[
-                (Expr::var(ko).mul(Expr::int(16)), Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16))),
+                (
+                    Expr::var(ko).mul(Expr::int(16)),
+                    Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16)),
+                ),
                 (Expr::int(0), Expr::int(m)),
             ],
             "b_s",
@@ -105,7 +108,10 @@ pub fn schedule_matmul(
         "for ko in _: _",
         "C",
         &[
-            (Expr::var(io).mul(Expr::int(16)), Expr::var(io).mul(Expr::int(16)).add(Expr::int(16))),
+            (
+                Expr::var(io).mul(Expr::int(16)),
+                Expr::var(io).mul(Expr::int(16)).add(Expr::int(16)),
+            ),
             (Expr::int(0), Expr::int(m)),
         ],
         "res",
@@ -116,8 +122,14 @@ pub fn schedule_matmul(
         "for jo in _: _",
         "A",
         &[
-            (Expr::var(io).mul(Expr::int(16)), Expr::var(io).mul(Expr::int(16)).add(Expr::int(16))),
-            (Expr::var(ko).mul(Expr::int(16)), Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16))),
+            (
+                Expr::var(io).mul(Expr::int(16)),
+                Expr::var(io).mul(Expr::int(16)).add(Expr::int(16)),
+            ),
+            (
+                Expr::var(ko).mul(Expr::int(16)),
+                Expr::var(ko).mul(Expr::int(16)).add(Expr::int(16)),
+            ),
         ],
         "a_s",
         lib.scratchpad,
@@ -129,12 +141,36 @@ pub fn schedule_matmul(
     let c_sym = p.lookup_data_sym("C").expect("C exists");
     // the configuration writes go before the first statement of the body
     // (the b_s alloc when B is resident at top level, the io loop otherwise)
-    let first_pat = if b_resident { "b_s : _" } else { "for io in _: _" };
+    let first_pat = if b_resident {
+        "b_s : _"
+    } else {
+        "for io in _: _"
+    };
     let p = p
-        .configwrite_before(first_pat, lib.config_ld.0, lib.config_ld.1, Expr::Stride { buf: a_sym, dim: 0 })?
-        .configwrite_before(first_pat, lib.config_ld2.0, lib.config_ld2.1, Expr::Stride { buf: b_sym, dim: 0 })?
-        .configwrite_before(first_pat, lib.config_ld_acc.0, lib.config_ld_acc.1, Expr::Stride { buf: c_sym, dim: 0 })?
-        .configwrite_before(first_pat, lib.config_st.0, lib.config_st.1, Expr::Stride { buf: c_sym, dim: 0 })?;
+        .configwrite_before(
+            first_pat,
+            lib.config_ld.0,
+            lib.config_ld.1,
+            Expr::Stride { buf: a_sym, dim: 0 },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_ld2.0,
+            lib.config_ld2.1,
+            Expr::Stride { buf: b_sym, dim: 0 },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_ld_acc.0,
+            lib.config_ld_acc.1,
+            Expr::Stride { buf: c_sym, dim: 0 },
+        )?
+        .configwrite_before(
+            first_pat,
+            lib.config_st.0,
+            lib.config_st.1,
+            Expr::Stride { buf: c_sym, dim: 0 },
+        )?;
 
     // ---- instruction selection (the §2.3 rewrites) ----
     // patterns match in pre-order, so map the staging loops in the order
@@ -212,7 +248,10 @@ pub fn trace_matmul(proc: &Proc, n: i64, m: i64, k: i64, functional: bool) -> Ve
         c = machine.alloc_extern_uninit("C", DataType::I32, &[n as usize, m as usize]);
     }
     machine
-        .run(proc, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)])
+        .run(
+            proc,
+            &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)],
+        )
         .expect("scheduled kernel must run");
     machine.take_trace()
 }
@@ -261,7 +300,10 @@ pub fn old_lib_matmul_trace(n: i64, m: i64, k: i64) -> Vec<HwOp> {
                     args: vec![
                         ("n".into(), int(16)),
                         ("m".into(), int(16)),
-                        ("src".into(), t(0, (io * 16) * k + ko * 16, 16, 16, k, false)),
+                        (
+                            "src".into(),
+                            t(0, (io * 16) * k + ko * 16, 16, 16, k, false),
+                        ),
                         ("dst".into(), t(3, 0, 16, 16, 16, false)),
                     ],
                 });
@@ -270,7 +312,10 @@ pub fn old_lib_matmul_trace(n: i64, m: i64, k: i64) -> Vec<HwOp> {
                     args: vec![
                         ("n".into(), int(16)),
                         ("m".into(), int(16)),
-                        ("src".into(), t(1, (ko * 16) * m + jo * 16, 16, 16, m, false)),
+                        (
+                            "src".into(),
+                            t(1, (ko * 16) * m + jo * 16, 16, 16, m, false),
+                        ),
                         ("dst".into(), t(4, 0, 16, 16, 16, false)),
                     ],
                 });
@@ -337,7 +382,10 @@ mod tests {
                 &vec![0.0; (n * m) as usize],
             );
             machine
-                .run(proc, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)])
+                .run(
+                    proc,
+                    &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)],
+                )
                 .expect("run");
             machine.buffer_values(c).unwrap()
         };
@@ -358,16 +406,25 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(configs.len(), 4, "configs: {configs:?}");
-        assert!(configs.iter().all(|&i| i < 4), "configs not hoisted: {configs:?}");
+        assert!(
+            configs.iter().all(|&i| i < 4),
+            "configs not hoisted: {configs:?}"
+        );
         // 2×2×2 tiles: 8 matmuls
-        let matmuls = trace.iter().filter(|op| op.instr == "gemmini_matmul").count();
+        let matmuls = trace
+            .iter()
+            .filter(|op| op.instr == "gemmini_matmul")
+            .count();
         assert_eq!(matmuls, 8);
     }
 
     #[test]
     fn old_lib_trace_has_fused_configs() {
         let trace = old_lib_matmul_trace(32, 32, 32);
-        let configs = trace.iter().filter(|op| op.instr.starts_with("gemmini_config")).count();
+        let configs = trace
+            .iter()
+            .filter(|op| op.instr.starts_with("gemmini_config"))
+            .count();
         // one load-config and one store-config per output tile: 4×2
         assert_eq!(configs, 4 * 2);
     }

@@ -17,12 +17,18 @@ use exo_sched::{Procedure, SchedError, StateRef};
 use x86_sim::traffic::{conv_traffic, ConvShape as TrafficShape};
 use x86_sim::{CoreModel, KernelProfile};
 
-pub use crate::gemmini_conv::ConvShape;
 use crate::gemmini_conv::naive_conv_typed;
+pub use crate::gemmini_conv::ConvShape;
 
 /// The Fig. 6 configuration.
 pub fn fig6_shape() -> ConvShape {
-    ConvShape { batch: 5, out_dim: 80, oc: 128, ic: 128, kdim: 3 }
+    ConvShape {
+        batch: 5,
+        out_dim: 80,
+        oc: 128,
+        ic: 128,
+        kdim: 3,
+    }
 }
 
 /// Builds the naive f32 convolution.
@@ -74,8 +80,14 @@ pub fn schedule_conv_avx512(
         &[
             unit(Expr::var(b_sym)),
             unit(Expr::var(oy)),
-            (Expr::var(oxo).mul(Expr::int(rb)), Expr::var(oxo).mul(Expr::int(rb)).add(Expr::int(rb))),
-            (Expr::var(oco).mul(Expr::int(16)), Expr::var(oco).mul(Expr::int(16)).add(Expr::int(16))),
+            (
+                Expr::var(oxo).mul(Expr::int(rb)),
+                Expr::var(oxo).mul(Expr::int(rb)).add(Expr::int(rb)),
+            ),
+            (
+                Expr::var(oco).mul(Expr::int(16)),
+                Expr::var(oco).mul(Expr::int(16)).add(Expr::int(16)),
+            ),
         ],
         "c_reg",
         lib.reg,
@@ -89,7 +101,10 @@ pub fn schedule_conv_avx512(
             unit(Expr::var(ky)),
             unit(Expr::var(kx)),
             unit(Expr::var(ic)),
-            (Expr::var(oco).mul(Expr::int(16)), Expr::var(oco).mul(Expr::int(16)).add(Expr::int(16))),
+            (
+                Expr::var(oco).mul(Expr::int(16)),
+                Expr::var(oco).mul(Expr::int(16)).add(Expr::int(16)),
+            ),
         ],
         "w_vec",
         lib.reg,
@@ -128,12 +143,18 @@ impl ConvStrategy {
 
     /// Halide's hand-tuned schedule (wider pixel block).
     pub fn halide_like() -> ConvStrategy {
-        ConvStrategy { name: "Halide", rb: 5 }
+        ConvStrategy {
+            name: "Halide",
+            rb: 5,
+        }
     }
 
     /// oneDNN's JIT'd kernel (its own blocking).
     pub fn onednn_like() -> ConvStrategy {
-        ConvStrategy { name: "oneDNN", rb: 8 }
+        ConvStrategy {
+            name: "oneDNN",
+            rb: 8,
+        }
     }
 
     /// Analytic per-shape instruction profile (cross-checked against the
@@ -192,7 +213,13 @@ mod tests {
     fn scheduled_conv_is_correct() {
         let lib = Avx512Lib::new();
         let st = state();
-        let shape = ConvShape { batch: 2, out_dim: 8, oc: 32, ic: 32, kdim: 3 };
+        let shape = ConvShape {
+            batch: 2,
+            out_dim: 8,
+            oc: 32,
+            ic: 32,
+            kdim: 3,
+        };
         let p = schedule_conv_avx512(&lib, &st, &shape, 4).expect("schedule");
         assert!(p.show().contains("mm512_fmadd_ps("), "{}", p.show());
 
@@ -233,7 +260,10 @@ mod tests {
                 &vec![0.0; c_len],
             );
             machine
-                .run(proc, &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)])
+                .run(
+                    proc,
+                    &[ArgVal::Tensor(input), ArgVal::Tensor(w), ArgVal::Tensor(c)],
+                )
                 .expect("run");
             machine.buffer_values(c).unwrap()
         };
@@ -244,10 +274,20 @@ mod tests {
     fn analytic_profile_matches_scheduled_ir() {
         let lib = Avx512Lib::new();
         let st = state();
-        let shape = ConvShape { batch: 2, out_dim: 8, oc: 32, ic: 32, kdim: 3 };
+        let shape = ConvShape {
+            batch: 2,
+            out_dim: 8,
+            oc: 32,
+            ic: 32,
+            kdim: 3,
+        };
         let p = schedule_conv_avx512(&lib, &st, &shape, 4).expect("schedule");
         let got = x86_sim::profile_proc(p.proc()).expect("constant bounds");
-        let want = ConvStrategy { name: "test", rb: 4 }.profile(&shape);
+        let want = ConvStrategy {
+            name: "test",
+            rb: 4,
+        }
+        .profile(&shape);
         assert_eq!(got.fmas, want.fmas, "fmas");
         assert_eq!(got.broadcasts, want.broadcasts, "broadcasts");
         assert_eq!(got.vec_stores, want.vec_stores, "stores");

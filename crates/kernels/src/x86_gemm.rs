@@ -75,8 +75,14 @@ pub fn schedule_sgemm(
         "for k in _: _",
         "C",
         &[
-            (Expr::var(io).mul(Expr::int(mr)), Expr::var(io).mul(Expr::int(mr)).add(Expr::int(mr))),
-            (Expr::var(jo).mul(Expr::int(nr)), Expr::var(jo).mul(Expr::int(nr)).add(Expr::int(nr))),
+            (
+                Expr::var(io).mul(Expr::int(mr)),
+                Expr::var(io).mul(Expr::int(mr)).add(Expr::int(mr)),
+            ),
+            (
+                Expr::var(jo).mul(Expr::int(nr)),
+                Expr::var(jo).mul(Expr::int(nr)).add(Expr::int(nr)),
+            ),
         ],
         "c_reg",
         lib.reg,
@@ -92,7 +98,10 @@ pub fn schedule_sgemm(
         "B",
         &[
             unit(Expr::var(k_sym)),
-            (Expr::var(jo).mul(Expr::int(nr)), Expr::var(jo).mul(Expr::int(nr)).add(Expr::int(nr))),
+            (
+                Expr::var(jo).mul(Expr::int(nr)),
+                Expr::var(jo).mul(Expr::int(nr)).add(Expr::int(nr)),
+            ),
         ],
         "b_vec",
         lib.reg,
@@ -108,7 +117,9 @@ pub fn schedule_sgemm(
     // the broadcast fill loop (named l by expand_scalar)
     let p = p.replace("for l in _: _", &lib.broadcast)?;
     // B row load: 16-lane pieces
-    let p = p.split("for ld1 in _: _", 16, "bl1o", "bl1i")?.replace("for bl1i in _: _", &lib.loadu)?;
+    let p = p
+        .split("for ld1 in _: _", 16, "bl1o", "bl1i")?
+        .replace("for bl1i in _: _", &lib.loadu)?;
     // C tile load / store
     let p = p
         .split("for ld1 in _: _", 16, "cl1o", "cl1i")?
@@ -140,7 +151,14 @@ impl GemmStrategy {
         GemmStrategy {
             name: "Exo",
             kernels: vec![(6, 64)],
-            blocking: GemmBlocking { mr: 6, nr: 64, mc: 96, kc: 384, nc: 2048, packed: false },
+            blocking: GemmBlocking {
+                mr: 6,
+                nr: 64,
+                mc: 96,
+                kc: 384,
+                nc: 2048,
+                packed: false,
+            },
         }
     }
 
@@ -152,7 +170,14 @@ impl GemmStrategy {
         GemmStrategy {
             name: "OpenBLAS",
             kernels: vec![(6, 64)],
-            blocking: GemmBlocking { mr: 6, nr: 64, mc: 96, kc: 384, nc: 2048, packed: true },
+            blocking: GemmBlocking {
+                mr: 6,
+                nr: 64,
+                mc: 96,
+                kc: 384,
+                nc: 2048,
+                packed: true,
+            },
         }
     }
 
@@ -161,8 +186,23 @@ impl GemmStrategy {
     pub fn mkl_like() -> GemmStrategy {
         GemmStrategy {
             name: "MKL",
-            kernels: vec![(6, 64), (12, 32), (24, 16), (2, 64), (48, 16), (1, 64), (64, 16)],
-            blocking: GemmBlocking { mr: 6, nr: 64, mc: 96, kc: 384, nc: 2048, packed: true },
+            kernels: vec![
+                (6, 64),
+                (12, 32),
+                (24, 16),
+                (2, 64),
+                (48, 16),
+                (1, 64),
+                (64, 16),
+            ],
+            blocking: GemmBlocking {
+                mr: 6,
+                nr: 64,
+                mc: 96,
+                kc: 384,
+                nc: 2048,
+                packed: true,
+            },
         }
     }
 
@@ -171,7 +211,11 @@ impl GemmStrategy {
         self.kernels
             .iter()
             .map(|&(mr, nr)| {
-                let blocking = GemmBlocking { mr, nr, ..self.blocking };
+                let blocking = GemmBlocking {
+                    mr,
+                    nr,
+                    ..self.blocking
+                };
                 evaluate_kernel(m, n, k, mr, nr, &blocking, core)
             })
             .fold(0.0, f64::max)
@@ -268,7 +312,10 @@ mod tests {
                 &vec![0.0; (m * n) as usize],
             );
             machine
-                .run(proc, &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)])
+                .run(
+                    proc,
+                    &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)],
+                )
                 .expect("run");
             machine.buffer_values(c).unwrap()
         };
@@ -286,8 +333,11 @@ mod tests {
     fn square_sizes_land_in_the_paper_band() {
         // Fig. 5a: 80–95 % of peak on large squares for every library
         let core = CoreModel::tiger_lake();
-        for strat in [GemmStrategy::exo(), GemmStrategy::openblas_like(), GemmStrategy::mkl_like()]
-        {
+        for strat in [
+            GemmStrategy::exo(),
+            GemmStrategy::openblas_like(),
+            GemmStrategy::mkl_like(),
+        ] {
             let gf = strat.gflops(1536, 1536, 1536, &core);
             let frac = gf / core.peak_gflops();
             assert!(
@@ -310,6 +360,9 @@ mod tests {
         assert!(mkl > exo, "mkl {mkl:.1} !> exo {exo:.1}");
         assert!(mkl > openblas, "mkl {mkl:.1} !> openblas {openblas:.1}");
         // and Exo tracks OpenBLAS (within ~20 %)
-        assert!((exo - openblas).abs() / openblas < 0.35, "exo {exo:.1} vs {openblas:.1}");
+        assert!(
+            (exo - openblas).abs() / openblas < 0.35,
+            "exo {exo:.1} vs {openblas:.1}"
+        );
     }
 }

@@ -1,0 +1,55 @@
+//! # exo-obs
+//!
+//! Zero-dependency structured observability for the exo-rs pipeline.
+//!
+//! The whole premise of exocompilation is that *users* drive
+//! optimization, which means users must be able to see what the system
+//! did on their behalf: which rewrite fired, what it checked, how many
+//! solver queries it cost, what the simulator measured. This crate is
+//! the measurement substrate threaded through every other crate:
+//!
+//! * [`span::Span`] — RAII wall-clock spans with per-thread nesting;
+//! * [`registry::Registry`] — a thread-safe global sink for counters,
+//!   log₂ histograms, and structured events;
+//! * [`json::Json`] — a hand-rolled JSON value (the sandbox has no
+//!   crates.io access, so serialization is std-only) with a strict
+//!   parser used to validate exported lines;
+//! * [`provenance::ProvenanceEvent`] — one applied-or-rejected
+//!   scheduling rewrite: operator, target, check verdict, statement
+//!   delta, solver-query delta, duration. `exo_sched::Procedure`
+//!   accumulates these into its schedule transcript.
+//!
+//! Sinks: [`registry::Registry::transcript`] renders a human-readable
+//! indented log; [`registry::Registry::json_lines`] exports everything
+//! as machine-readable JSON lines (one object per line), the format the
+//! `BENCH_*.json` trajectory files use.
+
+pub mod json;
+pub mod provenance;
+pub mod registry;
+pub mod span;
+
+pub use json::Json;
+pub use provenance::{render_transcript, ProvenanceEvent, Verdict};
+pub use registry::{Event, Histogram, Registry};
+pub use span::Span;
+
+/// Adds `delta` to the named global counter.
+pub fn counter_add(name: &str, delta: u64) {
+    Registry::global().counter_add(name, delta);
+}
+
+/// Reads the named global counter (0 if never touched).
+pub fn counter_get(name: &str) -> u64 {
+    Registry::global().counter(name)
+}
+
+/// Records `value` into the named global log₂ histogram.
+pub fn record_hist(name: &str, value: u64) {
+    Registry::global().record_hist(name, value);
+}
+
+/// Emits an instantaneous structured event to the global registry.
+pub fn event(name: &str, fields: Vec<(String, Json)>) {
+    Registry::global().event(name, fields);
+}

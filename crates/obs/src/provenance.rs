@@ -1,0 +1,144 @@
+//! Schedule provenance: one record per scheduling rewrite.
+//!
+//! `exo_sched::Procedure` appends a [`ProvenanceEvent`] for every
+//! operator applied to it, building the *schedule transcript* — the
+//! ordered story of how a naive kernel became the scheduled one, with
+//! each step's safety-check verdict and cost. Rejected rewrites leave
+//! the procedure untouched, so they appear only in the global registry,
+//! never in a procedure's own transcript.
+
+use std::fmt;
+
+use crate::json::Json;
+use crate::registry::format_us;
+
+/// Outcome of a scheduling operator's safety check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The rewrite was applied; its checks (if any) passed.
+    Accepted,
+    /// The rewrite was refused; the message says why.
+    Rejected(String),
+}
+
+impl Verdict {
+    /// Whether the rewrite went through.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Accepted => f.write_str("ok"),
+            Verdict::Rejected(why) => write!(f, "rejected: {why}"),
+        }
+    }
+}
+
+/// One applied (or rejected) scheduling rewrite.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProvenanceEvent {
+    /// Operator name (`split`, `reorder`, `stage_mem`, …).
+    pub op: String,
+    /// The operator's target pattern / argument summary.
+    pub target: String,
+    /// Safety-check outcome.
+    pub verdict: Verdict,
+    /// Statement count before the rewrite.
+    pub pre_stmts: usize,
+    /// Statement count after the rewrite (equals `pre_stmts` on
+    /// rejection).
+    pub post_stmts: usize,
+    /// Solver queries issued while the operator ran.
+    pub smt_queries: usize,
+    /// Wall-clock duration of the operator.
+    pub duration_us: u64,
+}
+
+impl ProvenanceEvent {
+    /// JSON form (one line of a transcript export).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("type".into(), Json::Str("rewrite".into())),
+            ("op".into(), Json::Str(self.op.clone())),
+            ("target".into(), Json::Str(self.target.clone())),
+            ("verdict".into(), Json::Str(self.verdict.to_string())),
+            ("pre_stmts".into(), Json::uint(self.pre_stmts as u64)),
+            ("post_stmts".into(), Json::uint(self.post_stmts as u64)),
+            ("smt_queries".into(), Json::uint(self.smt_queries as u64)),
+            ("dur_us".into(), Json::uint(self.duration_us)),
+        ])
+    }
+}
+
+/// Renders a human-readable schedule transcript, one numbered line per
+/// rewrite (the `proc.transcript_text()` view).
+pub fn render_transcript(proc_name: &str, events: &[ProvenanceEvent]) -> String {
+    let total_us: u64 = events.iter().map(|e| e.duration_us).sum();
+    let total_q: usize = events.iter().map(|e| e.smt_queries).sum();
+    let mut out = format!(
+        "schedule transcript for `{proc_name}` ({} directive{}, {} smt quer{}, {})\n",
+        events.len(),
+        if events.len() == 1 { "" } else { "s" },
+        total_q,
+        if total_q == 1 { "y" } else { "ies" },
+        format_us(total_us),
+    );
+    let width = events.len().to_string().len();
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(&format!(
+            "  {:>width$}. {}({}) {} [stmts {}→{}, smt {}, {}]\n",
+            i + 1,
+            e.op,
+            e.target,
+            e.verdict,
+            e.pre_stmts,
+            e.post_stmts,
+            e.smt_queries,
+            format_us(e.duration_us),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: &str) -> ProvenanceEvent {
+        ProvenanceEvent {
+            op: op.into(),
+            target: "for i in _: _".into(),
+            verdict: Verdict::Accepted,
+            pre_stmts: 3,
+            post_stmts: 5,
+            smt_queries: 2,
+            duration_us: 1500,
+        }
+    }
+
+    #[test]
+    fn transcript_renders_each_rewrite_in_order() {
+        let text = render_transcript("gemm", &[ev("split"), ev("reorder")]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("`gemm`") && lines[0].contains("2 directives"));
+        assert!(lines[0].contains("4 smt queries") && lines[0].contains("3.0ms"));
+        assert!(lines[1]
+            .trim_start()
+            .starts_with("1. split(for i in _: _) ok"));
+        assert!(lines[2].trim_start().starts_with("2. reorder("));
+        assert!(lines[1].contains("stmts 3→5"));
+    }
+
+    #[test]
+    fn provenance_json_round_trips() {
+        let e = ev("stage_mem");
+        let parsed = crate::json::Json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(parsed.get("op").and_then(Json::as_str), Some("stage_mem"));
+        assert_eq!(parsed.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(parsed.get("smt_queries").and_then(Json::as_int), Some(2));
+    }
+}

@@ -1,0 +1,448 @@
+//! The global metrics registry: counters, log₂ histograms, and
+//! structured events behind one mutex.
+//!
+//! Instrumentation sites are hot paths (every solver query, every
+//! interpreted `@instr` call), so the API is deliberately coarse: one
+//! short critical section per record, no allocation when the name
+//! already exists, and a process-wide kill switch
+//! ([`Registry::set_enabled`]) that reduces every call to one atomic
+//! load.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::json::Json;
+
+/// A fixed-bin log₂ histogram (bin `i` holds values in `[2^(i-1), 2^i)`,
+/// bin 0 holds zero).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            bins: [0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let bin = (64 - value.leading_zeros()) as usize;
+        self.bins[bin.min(63)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty bins as `(bin_upper_bound, count)` pairs.
+    pub fn nonzero_bins(&self) -> Vec<(u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i.min(63) }, c))
+            .collect()
+    }
+
+    fn to_json(&self, name: &str) -> Json {
+        Json::obj(vec![
+            ("type".into(), Json::Str("hist".into())),
+            ("name".into(), Json::Str(name.into())),
+            ("count".into(), Json::uint(self.count)),
+            ("sum".into(), Json::uint(self.sum)),
+            ("max".into(), Json::uint(self.max)),
+            (
+                "bins".into(),
+                Json::Arr(
+                    self.nonzero_bins()
+                        .into_iter()
+                        .map(|(ub, c)| Json::Arr(vec![Json::uint(ub), Json::uint(c)]))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One recorded event (instantaneous, or a closed span when
+/// `duration_us` is set).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Global sequence number (emission order).
+    pub seq: u64,
+    /// Dotted event name, e.g. `sched.split` or `smt.query`.
+    pub name: String,
+    /// Span-nesting depth of the emitting thread at emission time.
+    pub depth: usize,
+    /// Structured payload.
+    pub fields: Vec<(String, Json)>,
+    /// Wall-clock duration for span events.
+    pub duration_us: Option<u64>,
+}
+
+impl Event {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            (
+                "type".into(),
+                Json::Str(
+                    if self.duration_us.is_some() {
+                        "span"
+                    } else {
+                        "event"
+                    }
+                    .into(),
+                ),
+            ),
+            ("seq".into(), Json::uint(self.seq)),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("depth".into(), Json::uint(self.depth as u64)),
+        ];
+        if let Some(us) = self.duration_us {
+            fields.push(("dur_us".into(), Json::uint(us)));
+        }
+        fields.extend(self.fields.iter().cloned());
+        Json::Obj(fields)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+    events: Vec<Event>,
+    seq: u64,
+}
+
+/// Thread-safe sink for counters, histograms, and events.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    enabled: AtomicBool,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// Creates an empty, enabled registry.
+    pub fn new() -> Registry {
+        Registry {
+            inner: Mutex::new(Inner::default()),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Turns recording on or off (all record calls become no-ops while
+    /// disabled; reads still work).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Snapshot of all counters, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Snapshot of all counters under a dotted prefix (e.g.
+    /// `interp.instr` collects the per-instruction execution counts).
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(String, u64)> {
+        self.lock()
+            .counters
+            .iter()
+            .filter(|(k, _)| {
+                k.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+            })
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Records a value into a histogram.
+    pub fn record_hist(&self, name: &str, value: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.hists.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::default();
+                h.record(value);
+                inner.hists.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Snapshot of a histogram.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.lock().hists.get(name).cloned()
+    }
+
+    /// Emits an instantaneous event.
+    pub fn event(&self, name: &str, fields: Vec<(String, Json)>) {
+        self.record_event(name, fields, None);
+    }
+
+    pub(crate) fn record_event(
+        &self,
+        name: &str,
+        fields: Vec<(String, Json)>,
+        duration_us: Option<u64>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let depth = crate::span::current_depth();
+        let mut inner = self.lock();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(Event {
+            seq,
+            name: name.to_string(),
+            depth,
+            fields,
+            duration_us,
+        });
+    }
+
+    /// Snapshot of recorded events in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// Drops all recorded state (events, counters, histograms).
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        *inner = Inner::default();
+    }
+
+    /// Renders a human-readable indented transcript of all events,
+    /// followed by counter and histogram summaries.
+    pub fn transcript(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for ev in &inner.events {
+            out.push_str(&"  ".repeat(ev.depth));
+            out.push_str(&ev.name);
+            if let Some(us) = ev.duration_us {
+                out.push_str(&format!(" [{}]", format_us(us)));
+            }
+            for (k, v) in &ev.fields {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        if !inner.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (k, v) in &inner.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        for (name, h) in &inner.hists {
+            out.push_str(&format!(
+                "hist {name}: count={} mean={:.1} max={}\n",
+                h.count(),
+                h.mean(),
+                h.max()
+            ));
+        }
+        out
+    }
+
+    /// Exports everything as JSON lines: one object per event, then one
+    /// per counter, then one per histogram.
+    pub fn json_lines(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        for ev in &inner.events {
+            out.push_str(&ev.to_json().to_string());
+            out.push('\n');
+        }
+        for (name, &value) in &inner.counters {
+            out.push_str(
+                &Json::obj(vec![
+                    ("type".into(), Json::Str("counter".into())),
+                    ("name".into(), Json::Str(name.clone())),
+                    ("value".into(), Json::uint(value)),
+                ])
+                .to_string(),
+            );
+            out.push('\n');
+        }
+        for (name, h) in &inner.hists {
+            out.push_str(&h.to_json(name).to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`Registry::json_lines`] to a file.
+    pub fn write_json_lines(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.json_lines())
+    }
+}
+
+/// Formats a microsecond duration for humans (`412µs`, `3.2ms`, `1.7s`).
+pub fn format_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.counter_add("t.hits", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("t.hits"), 8000);
+    }
+
+    #[test]
+    fn prefix_queries_do_not_match_partial_segments() {
+        let reg = Registry::new();
+        reg.counter_add("interp.instr.mvin", 2);
+        reg.counter_add("interp.instrumented", 5);
+        let got = reg.counters_with_prefix("interp.instr");
+        assert_eq!(got, vec![("interp.instr.mvin".to_string(), 2)]);
+    }
+
+    #[test]
+    fn histogram_bins_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 1, 2, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1007);
+        assert_eq!(h.max(), 1000);
+        // zero-bin, [1,2)-bin (2 ones), [2,4)-bin (2 and 3), 1000 in [512,1024)
+        assert_eq!(h.nonzero_bins(), vec![(0, 1), (2, 2), (4, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        reg.set_enabled(false);
+        reg.counter_add("x", 1);
+        reg.event("e", vec![]);
+        reg.record_hist("h", 3);
+        assert_eq!(reg.counter("x"), 0);
+        assert!(reg.events().is_empty());
+        assert!(reg.histogram("h").is_none());
+    }
+
+    #[test]
+    fn json_lines_are_individually_parseable() {
+        let reg = Registry::new();
+        reg.counter_add("smt.queries", 17);
+        reg.record_hist("smt.formula_size", 33);
+        reg.event(
+            "sim.run",
+            vec![
+                ("cycles".into(), Json::Int(1234)),
+                ("util".into(), Json::Float(0.73)),
+            ],
+        );
+        let dump = reg.json_lines();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            Json::parse(line).unwrap_or_else(|e| panic!("line {line:?}: {e}"));
+        }
+        let ev = Json::parse(lines[0]).unwrap();
+        assert_eq!(ev.get("name").and_then(Json::as_str), Some("sim.run"));
+        assert_eq!(ev.get("cycles").and_then(Json::as_int), Some(1234));
+    }
+}

@@ -1,0 +1,105 @@
+//! RAII wall-clock spans with per-thread nesting.
+//!
+//! `Span::enter("sched.split")` bumps the calling thread's depth; when
+//! the guard drops, the span is recorded on the global registry with its
+//! duration, and any events emitted while the guard lived carry a deeper
+//! indentation in the transcript.
+
+use std::cell::Cell;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::registry::Registry;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The calling thread's current span-nesting depth.
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+/// An open span; records itself (name, fields, duration) when dropped.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    fields: Vec<(String, Json)>,
+    start: Instant,
+}
+
+impl Span {
+    /// Opens a span and increases the thread's nesting depth.
+    pub fn enter(name: impl Into<String>) -> Span {
+        DEPTH.with(|d| d.set(d.get() + 1));
+        Span {
+            name: name.into(),
+            fields: Vec::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// Attaches a structured field, builder-style.
+    pub fn with_field(mut self, key: impl Into<String>, value: Json) -> Span {
+        self.fields.push((key.into(), value));
+        self
+    }
+
+    /// Attaches a structured field to an open span.
+    pub fn field(&mut self, key: impl Into<String>, value: Json) {
+        self.fields.push((key.into(), value));
+    }
+
+    /// Elapsed time since the span opened.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur = self.elapsed_us();
+        // record at the depth *inside* the span, then pop
+        Registry::global().record_event(&self.name, std::mem::take(&mut self.fields), Some(dur));
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_depth() {
+        let reg = Registry::global();
+        reg.clear();
+        {
+            let _outer = Span::enter("test_span.outer");
+            {
+                let _inner = Span::enter("test_span.inner").with_field("k", Json::Str("v".into()));
+            }
+            crate::event("test_span.note", vec![]);
+        }
+        let events: Vec<_> = reg
+            .events()
+            .into_iter()
+            .filter(|e| e.name.starts_with("test_span."))
+            .collect();
+        assert_eq!(events.len(), 3, "{events:?}");
+        // inner closes first, at depth 2; the note fires at depth 1;
+        // outer closes last at depth 1
+        assert_eq!(events[0].name, "test_span.inner");
+        assert_eq!(events[0].depth, 2);
+        assert_eq!(
+            events[0].fields,
+            vec![("k".to_string(), Json::Str("v".into()))]
+        );
+        assert_eq!(events[1].name, "test_span.note");
+        assert_eq!(events[1].depth, 1);
+        assert!(events[1].duration_us.is_none());
+        assert_eq!(events[2].name, "test_span.outer");
+        assert_eq!(events[2].depth, 1);
+        assert!(events[2].duration_us.is_some());
+        assert_eq!(current_depth(), 0);
+    }
+}

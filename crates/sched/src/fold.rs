@@ -79,11 +79,7 @@ fn rebuild_affine((c, terms): &(i64, Vec<(exo_core::Sym, i64)>)) -> Expr {
         acc = Some(match acc {
             None => {
                 if k < 0 {
-                    if k == -1 {
-                        Expr::Neg(Box::new(t))
-                    } else {
-                        Expr::Neg(Box::new(t))
-                    }
+                    Expr::Neg(Box::new(t))
                 } else {
                     t
                 }
@@ -190,7 +186,12 @@ pub fn fold_block(b: &Block) -> Block {
                         continue;
                     }
                 }
-                out.push(Stmt::For { iter: *iter, lo, hi, body: fold_block(body) });
+                out.push(Stmt::For {
+                    iter: *iter,
+                    lo,
+                    hi,
+                    body: fold_block(body),
+                });
             }
             other => out.push(exo_core::visit::map_stmt_exprs(other, &mut fold_full)),
         }
@@ -206,7 +207,10 @@ mod tests {
     #[test]
     fn folds_arithmetic() {
         let x = Sym::new("x");
-        let e = Expr::int(16).mul(Expr::int(2)).add(Expr::var(x)).add(Expr::int(0));
+        let e = Expr::int(16)
+            .mul(Expr::int(2))
+            .add(Expr::var(x))
+            .add(Expr::int(0));
         // affine normalization puts symbolic terms first
         assert_eq!(fold_expr(&e), Expr::var(x).add(Expr::int(32)));
     }

@@ -9,12 +9,15 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use exo_obs::{ProvenanceEvent, Verdict};
+
+use exo_analysis::context::{site_ctx, SiteCtx};
+use exo_analysis::globals::GlobalReg;
 use exo_core::ir::Proc;
 use exo_core::path::{replace_at, stmt_at, StmtPath};
 use exo_core::{Block, Stmt, Sym};
-use exo_analysis::context::{site_ctx, SiteCtx};
-use exo_analysis::globals::GlobalReg;
 use exo_smt::formula::Formula;
 use exo_smt::solver::Answer;
 
@@ -31,7 +34,9 @@ pub struct SchedError {
 
 impl SchedError {
     pub(crate) fn new(message: impl Into<String>) -> SchedError {
-        SchedError { message: message.into() }
+        SchedError {
+            message: message.into(),
+        }
     }
 }
 
@@ -77,6 +82,8 @@ pub struct Procedure {
     /// Number of scheduling directives applied since the root (the
     /// "Sched." column of paper Fig. 7).
     directives: usize,
+    /// Schedule provenance: one event per applied rewrite, in order.
+    transcript: Vec<ProvenanceEvent>,
 }
 
 impl Procedure {
@@ -93,7 +100,15 @@ impl Procedure {
             st.next_class += 1;
             st.next_class
         };
-        Procedure { root: Arc::clone(&proc), proc, state, class, polluted: BTreeSet::new(), directives: 0 }
+        Procedure {
+            root: Arc::clone(&proc),
+            proc,
+            state,
+            class,
+            polluted: BTreeSet::new(),
+            directives: 0,
+            transcript: Vec::new(),
+        }
     }
 
     /// The underlying IR.
@@ -114,6 +129,17 @@ impl Procedure {
     /// Number of scheduling directives applied so far.
     pub fn directives(&self) -> usize {
         self.directives
+    }
+
+    /// The schedule transcript: one [`ProvenanceEvent`] per rewrite
+    /// applied since the root, in application order.
+    pub fn transcript(&self) -> &[ProvenanceEvent] {
+        &self.transcript
+    }
+
+    /// The transcript rendered as an indented human-readable listing.
+    pub fn transcript_text(&self) -> String {
+        exo_obs::render_transcript(&self.proc.name.name(), &self.transcript)
     }
 
     /// Configuration fields modulo which this procedure is equivalent to
@@ -163,7 +189,8 @@ impl Procedure {
 
     pub(crate) fn find(&self, pattern: &str) -> Result<StmtPath, SchedError> {
         let pat = Pattern::parse(pattern).map_err(|e| SchedError::new(e.message))?;
-        pat.find(&self.proc.body).map_err(|e| SchedError::new(e.message))
+        pat.find(&self.proc.body)
+            .map_err(|e| SchedError::new(e.message))
     }
 
     pub(crate) fn stmt(&self, path: &StmtPath) -> Result<&Stmt, SchedError> {
@@ -185,7 +212,10 @@ impl Procedure {
 
     /// Derives a procedure with a new body.
     pub(crate) fn with_body(&self, body: Block) -> Procedure {
-        let proc = Arc::new(Proc { body, ..(*self.proc).clone() });
+        let proc = Arc::new(Proc {
+            body,
+            ..(*self.proc).clone()
+        });
         Procedure {
             proc,
             root: Arc::clone(&self.root),
@@ -193,6 +223,7 @@ impl Procedure {
             class: self.class,
             polluted: self.polluted.clone(),
             directives: self.directives + 1,
+            transcript: self.transcript.clone(),
         }
     }
 
@@ -206,6 +237,85 @@ impl Procedure {
             class: self.class,
             polluted: self.polluted.clone(),
             directives: self.directives + 1,
+            transcript: self.transcript.clone(),
+        }
+    }
+
+    /// Total statement count of the current body (all nesting levels).
+    pub(crate) fn stmt_count(&self) -> usize {
+        let mut n = 0usize;
+        exo_core::visit::visit_stmts(self.body(), &mut |_| n += 1);
+        n
+    }
+
+    /// Runs one scheduling operator under provenance instrumentation.
+    ///
+    /// Captures the statement-count delta, solver-query delta, and
+    /// wall-clock duration of `f`; on success the event is appended to
+    /// the derived procedure's transcript, on rejection it is logged to
+    /// the global registry only (the procedure is unchanged). Every
+    /// public operator routes through here.
+    pub(crate) fn instrumented(
+        &self,
+        op: &str,
+        target: impl Into<String>,
+        f: impl FnOnce() -> Result<Procedure, SchedError>,
+    ) -> Result<Procedure, SchedError> {
+        let target = target.into();
+        let pre_stmts = self.stmt_count();
+        let pre_queries = self
+            .state
+            .lock()
+            .expect("scheduler state poisoned")
+            .solver
+            .stats()
+            .queries;
+        let start = Instant::now();
+        let result = f();
+        let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        let smt_queries = self
+            .state
+            .lock()
+            .expect("scheduler state poisoned")
+            .solver
+            .stats()
+            .queries
+            .saturating_sub(pre_queries);
+        exo_obs::counter_add(&format!("sched.op.{op}"), 1);
+        exo_obs::record_hist("sched.op_us", duration_us);
+        match result {
+            Ok(mut derived) => {
+                derived.transcript.push(ProvenanceEvent {
+                    op: op.to_string(),
+                    target,
+                    verdict: Verdict::Accepted,
+                    pre_stmts,
+                    post_stmts: derived.stmt_count(),
+                    smt_queries,
+                    duration_us,
+                });
+                Ok(derived)
+            }
+            Err(e) => {
+                exo_obs::counter_add("sched.rejected", 1);
+                let rejected = ProvenanceEvent {
+                    op: op.to_string(),
+                    target,
+                    verdict: Verdict::Rejected(e.message.clone()),
+                    pre_stmts,
+                    post_stmts: pre_stmts,
+                    smt_queries,
+                    duration_us,
+                };
+                exo_obs::event(
+                    &format!("sched.rejected.{op}"),
+                    match rejected.to_json() {
+                        exo_obs::Json::Obj(fields) => fields,
+                        _ => Vec::new(),
+                    },
+                );
+                Err(e)
+            }
         }
     }
 
@@ -268,7 +378,9 @@ mod tests {
     fn splice_derives_new_procedure() {
         let p = simple();
         let path = p.find("A[_] = _").unwrap();
-        let q = p.splice(&path, &mut |s| vec![s.clone(), Stmt::Pass]).unwrap();
+        let q = p
+            .splice(&path, &mut |s| vec![s.clone(), Stmt::Pass])
+            .unwrap();
         assert_eq!(q.directives(), 1);
         assert_eq!(p.directives(), 0);
         assert!(p.same_class(&q));
@@ -285,5 +397,27 @@ mod tests {
         let p = simple();
         let q = simple();
         assert!(!p.same_class(&q));
+    }
+
+    #[test]
+    fn transcript_records_applied_rewrites_only() {
+        let p = simple();
+        assert!(p.transcript().is_empty());
+        let q = p.split("for i in _: _", 4, "io", "ii").unwrap();
+        assert_eq!(q.transcript().len(), 1);
+        let e = &q.transcript()[0];
+        assert_eq!(e.op, "split");
+        assert!(e.verdict.is_accepted());
+        assert!(e.post_stmts > e.pre_stmts, "{e:?}");
+        // a rejected rewrite leaves the source transcript untouched
+        assert!(q.split("for z in _: _", 4, "a", "b").is_err());
+        assert_eq!(q.transcript().len(), 1);
+        // chained rewrites accumulate in order
+        let r = q.reorder("for io in _: _", "ii").unwrap();
+        let ops: Vec<&str> = r.transcript().iter().map(|e| e.op.as_str()).collect();
+        assert_eq!(ops, ["split", "reorder"]);
+        assert!(r.transcript_text().contains("1. split("));
+        // the original handle is untouched
+        assert!(p.transcript().is_empty());
     }
 }

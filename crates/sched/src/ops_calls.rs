@@ -15,6 +15,10 @@ impl Procedure {
     /// actuals substituted for formals (always equivalence-preserving;
     /// the callee's preconditions were checked at the call site).
     pub fn inline(&self, call_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("inline", call_pat, || self.inline_impl(call_pat))
+    }
+
+    fn inline_impl(&self, call_pat: &str) -> Result<Procedure, SchedError> {
         let path = self.find(call_pat)?;
         let Stmt::Call { proc: callee, args } = self.stmt(&path)?.clone() else {
             return serr(format!("inline: {call_pat:?} is not a call"));
@@ -34,7 +38,10 @@ impl Procedure {
                     Expr::Window { .. } => {
                         // bind the window to a fresh name
                         let w = Sym::new(formal.name.name());
-                        prelude.push(Stmt::WindowDef { name: w, rhs: actual.clone() });
+                        prelude.push(Stmt::WindowDef {
+                            name: w,
+                            rhs: actual.clone(),
+                        });
                         data_map.insert(formal.name, w);
                     }
                     Expr::Read { buf, idx } => {
@@ -52,11 +59,7 @@ impl Procedure {
                         });
                         data_map.insert(formal.name, w);
                     }
-                    _ => {
-                        return serr(
-                            "inline: cannot inline a call with a scalar rvalue argument",
-                        )
-                    }
+                    _ => return serr("inline: cannot inline a call with a scalar rvalue argument"),
                 },
             }
         }
@@ -76,7 +79,23 @@ impl Procedure {
     /// equivalent modulo some configuration fields, the context-extension
     /// rule (§6.2) must hold at the call site and the pollution is
     /// recorded.
-    pub fn call_eqv(&self, call_pat: &str, new_callee: &Procedure) -> Result<Procedure, SchedError> {
+    pub fn call_eqv(
+        &self,
+        call_pat: &str,
+        new_callee: &Procedure,
+    ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "call_eqv",
+            format!("{call_pat}, {}", new_callee.proc().name.name()),
+            || self.call_eqv_impl(call_pat, new_callee),
+        )
+    }
+
+    fn call_eqv_impl(
+        &self,
+        call_pat: &str,
+        new_callee: &Procedure,
+    ) -> Result<Procedure, SchedError> {
         let path = self.find(call_pat)?;
         let Stmt::Call { proc: old, args } = self.stmt(&path)?.clone() else {
             return serr(format!("call_eqv: {call_pat:?} is not a call"));
@@ -96,7 +115,10 @@ impl Procedure {
             );
         }
         let polluted: Vec<(Sym, Sym)> = new_callee.polluted().iter().copied().collect();
-        let new_stmt = Stmt::Call { proc: new_callee.proc().clone(), args };
+        let new_stmt = Stmt::Call {
+            proc: new_callee.proc().clone(),
+            args,
+        };
         let rewritten = self.splice(&path, &mut |_| vec![new_stmt.clone()])?;
         if !polluted.is_empty() {
             let ok = {

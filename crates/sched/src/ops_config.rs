@@ -34,7 +34,11 @@ impl Procedure {
         field: Sym,
         value: Expr,
     ) -> Result<Procedure, SchedError> {
-        self.configwrite_at(stmt_pat, config, field, value, false)
+        self.instrumented(
+            "configwrite_after",
+            format!("{stmt_pat}, {}.{}", config.name(), field.name()),
+            || self.configwrite_at(stmt_pat, config, field, value, false),
+        )
     }
 
     /// Inserts `config.field = value` immediately before the matched
@@ -46,7 +50,11 @@ impl Procedure {
         field: Sym,
         value: Expr,
     ) -> Result<Procedure, SchedError> {
-        self.configwrite_at(stmt_pat, config, field, value, true)
+        self.instrumented(
+            "configwrite_before",
+            format!("{stmt_pat}, {}.{}", config.name(), field.name()),
+            || self.configwrite_at(stmt_pat, config, field, value, true),
+        )
     }
 
     fn configwrite_at(
@@ -58,7 +66,11 @@ impl Procedure {
         before: bool,
     ) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
-        let write = Stmt::WriteConfig { config, field, rhs: value };
+        let write = Stmt::WriteConfig {
+            config,
+            field,
+            rhs: value,
+        };
         let rewritten = self.splice(&path, &mut |s| {
             if before {
                 vec![write.clone(), s.clone()]
@@ -68,7 +80,11 @@ impl Procedure {
         })?;
         // context extension: nothing after the insertion may read the field.
         // The path of the *write* in the new body:
-        let write_path = if before { path.clone() } else { path.sibling(1).expect("idx+1") };
+        let write_path = if before {
+            path.clone()
+        } else {
+            path.sibling(1).expect("idx+1")
+        };
         let ok = {
             let mut st = self.state().lock().expect("scheduler state poisoned");
             let st = &mut *st;
@@ -101,15 +117,31 @@ impl Procedure {
         config: Sym,
         field: Sym,
     ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "bind_config",
+            format!(
+                "{stmt_pat}, {expr_text}, {}.{}",
+                config.name(),
+                field.name()
+            ),
+            || self.bind_config_impl(stmt_pat, expr_text, config, field),
+        )
+    }
+
+    fn bind_config_impl(
+        &self,
+        stmt_pat: &str,
+        expr_text: &str,
+        config: Sym,
+        field: Sym,
+    ) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let stmt = self.stmt(&path)?.clone();
         // locate the control expression by printed form
         let mut target: Option<Expr> = None;
         let mut scan = |e: &Expr| {
             visit_expr(e, &mut |e| {
-                if target.is_none()
-                    && exo_core::printer::expr_to_string(e) == expr_text.trim()
-                {
+                if target.is_none() && exo_core::printer::expr_to_string(e) == expr_text.trim() {
                     target = Some(e.clone());
                 }
             });
@@ -130,13 +162,20 @@ impl Procedure {
             _ => {}
         });
         let Some(target) = target else {
-            return serr(format!("bind_config: no control expression prints as {expr_text:?}"));
+            return serr(format!(
+                "bind_config: no control expression prints as {expr_text:?}"
+            ));
         };
         // the statement itself must not write the field (the bound value
         // must stay current throughout)
         let mut writes_field = false;
         visit_stmts(std::slice::from_ref(&stmt), &mut |s| {
-            if let Stmt::WriteConfig { config: c, field: f, .. } = s {
+            if let Stmt::WriteConfig {
+                config: c,
+                field: f,
+                ..
+            } = s
+            {
                 if *c == config && *f == field {
                     writes_field = true;
                 }
@@ -162,7 +201,11 @@ impl Procedure {
             return serr("bind_config: expression uses loop variables bound inside the statement");
         }
 
-        let write = Stmt::WriteConfig { config, field, rhs: target.clone() };
+        let write = Stmt::WriteConfig {
+            config,
+            field,
+            rhs: target.clone(),
+        };
         let replaced = exo_core::visit::map_stmt_exprs(&stmt, &mut |e| {
             if e == target {
                 Expr::ReadConfig { config, field }
@@ -197,9 +240,17 @@ impl Procedure {
     /// "eliminating redundant setting of configuration state"). This is
     /// fully equivalence-preserving — no pollution.
     pub fn delete_config(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("delete_config", stmt_pat, || {
+            self.delete_config_impl(stmt_pat)
+        })
+    }
+
+    fn delete_config_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let Stmt::WriteConfig { config, field, rhs } = self.stmt(&path)?.clone() else {
-            return serr(format!("delete_config: {stmt_pat:?} is not a configuration write"));
+            return serr(format!(
+                "delete_config: {stmt_pat:?} is not a configuration write"
+            ));
         };
         let site = self.site(&path)?;
         {
@@ -224,6 +275,12 @@ impl Procedure {
     /// `reorder_stmts(s1)`: swaps the matched statement with its
     /// immediately following sibling, after checking `Commutes` (§5.7).
     pub fn reorder_stmts(&self, first_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("reorder_stmts", first_pat, || {
+            self.reorder_stmts_impl(first_pat)
+        })
+    }
+
+    fn reorder_stmts_impl(&self, first_pat: &str) -> Result<Procedure, SchedError> {
         let p1 = self.find(first_pat)?;
         let p2 = p1
             .sibling(1)
@@ -244,8 +301,18 @@ impl Procedure {
 
         let site = self.site(&p1)?;
         let mut st = self.state().lock().expect("scheduler state poisoned");
-        let e1 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s1), &site.genv, &mut st.reg);
-        let e2 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s2), &site.genv, &mut st.reg);
+        let e1 = effect_of_stmts_at(
+            self.proc(),
+            std::slice::from_ref(&s1),
+            &site.genv,
+            &mut st.reg,
+        );
+        let e2 = effect_of_stmts_at(
+            self.proc(),
+            std::slice::from_ref(&s2),
+            &site.genv,
+            &mut st.reg,
+        );
         let mut lctx = LowerCtx::new();
         let cond = conditions::commutes(&e1, &e2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
@@ -254,22 +321,29 @@ impl Procedure {
 
         let p = self.splice(&p2, &mut |_| vec![])?;
         p.splice(&p1, &mut |s| vec![s2.clone(), s.clone()])
-            .map(|q| {
+            .inspect(|q| {
                 // two splices applied, but it is one directive
-                let _ = &q;
-                q
+                let _ = q;
             })
     }
 
     /// Deletes a `pass` statement (always equivalence-preserving).
     pub fn delete_pass(&self) -> Result<Procedure, SchedError> {
-        let path = self.find("pass")?;
-        self.splice(&path, &mut |_| vec![])
+        self.instrumented("delete_pass", "pass", || {
+            let path = self.find("pass")?;
+            self.splice(&path, &mut |_| vec![])
+        })
     }
 
     /// `shadow_delete(s)`: deletes the matched statement when the
     /// statement immediately after it shadows it (`s1;s2 ≡ s2`, §5.7).
     pub fn shadow_delete(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("shadow_delete", stmt_pat, || {
+            self.shadow_delete_impl(stmt_pat)
+        })
+    }
+
+    fn shadow_delete_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
         let p1 = self.find(stmt_pat)?;
         let p2 = p1
             .sibling(1)
@@ -283,8 +357,18 @@ impl Procedure {
         }
         let site = self.site(&p1)?;
         let mut st = self.state().lock().expect("scheduler state poisoned");
-        let e1 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s1), &site.genv, &mut st.reg);
-        let e2 = effect_of_stmts_at(self.proc(), std::slice::from_ref(&s2), &site.genv, &mut st.reg);
+        let e1 = effect_of_stmts_at(
+            self.proc(),
+            std::slice::from_ref(&s1),
+            &site.genv,
+            &mut st.reg,
+        );
+        let e2 = effect_of_stmts_at(
+            self.proc(),
+            std::slice::from_ref(&s2),
+            &site.genv,
+            &mut st.reg,
+        );
         let mut lctx = LowerCtx::new();
         let cond = conditions::shadows(&e1, &e2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);

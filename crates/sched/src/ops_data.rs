@@ -17,28 +17,62 @@ impl Procedure {
     /// this is always equivalence-preserving; legality is enforced by the
     /// backend checks at code-generation time).
     pub fn set_memory(&self, alloc_pat: &str, mem: MemName) -> Result<Procedure, SchedError> {
+        self.instrumented("set_memory", format!("{alloc_pat}, {mem:?}"), || {
+            self.set_memory_impl(alloc_pat, mem)
+        })
+    }
+
+    fn set_memory_impl(&self, alloc_pat: &str, mem: MemName) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
-        let Stmt::Alloc { name, ty, shape, .. } = self.stmt(&path)?.clone() else {
+        let Stmt::Alloc {
+            name, ty, shape, ..
+        } = self.stmt(&path)?.clone()
+        else {
             return serr(format!("set_memory: {alloc_pat:?} is not an allocation"));
         };
-        let new = Stmt::Alloc { name, ty, shape, mem };
+        let new = Stmt::Alloc {
+            name,
+            ty,
+            shape,
+            mem,
+        };
         self.splice(&path, &mut |_| vec![new.clone()])
     }
 
     /// `set_precision(a, typ)`: refines the precision of an allocation
     /// (e.g. the abstract `R` to `f32`).
     pub fn set_precision(&self, alloc_pat: &str, ty: DataType) -> Result<Procedure, SchedError> {
+        self.instrumented("set_precision", format!("{alloc_pat}, {ty:?}"), || {
+            self.set_precision_impl(alloc_pat, ty)
+        })
+    }
+
+    fn set_precision_impl(&self, alloc_pat: &str, ty: DataType) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
-        let Stmt::Alloc { name, shape, mem, .. } = self.stmt(&path)?.clone() else {
+        let Stmt::Alloc {
+            name, shape, mem, ..
+        } = self.stmt(&path)?.clone()
+        else {
             return serr(format!("set_precision: {alloc_pat:?} is not an allocation"));
         };
-        let new = Stmt::Alloc { name, ty, shape, mem };
+        let new = Stmt::Alloc {
+            name,
+            ty,
+            shape,
+            mem,
+        };
         self.splice(&path, &mut |_| vec![new.clone()])
     }
 
     /// `set_arg_precision(name, typ)`: refines the precision of a tensor
     /// or scalar *parameter*.
     pub fn set_arg_precision(&self, arg: &str, ty: DataType) -> Result<Procedure, SchedError> {
+        self.instrumented("set_arg_precision", format!("{arg}, {ty:?}"), || {
+            self.set_arg_precision_impl(arg, ty)
+        })
+    }
+
+    fn set_arg_precision_impl(&self, arg: &str, ty: DataType) -> Result<Procedure, SchedError> {
         let mut proc: Proc = (**self.proc()).clone();
         let mut hit = false;
         for a in &mut proc.args {
@@ -63,6 +97,12 @@ impl Procedure {
     /// `set_arg_memory(name, MEM)`: changes the memory annotation of a
     /// tensor parameter.
     pub fn set_arg_memory(&self, arg: &str, mem: MemName) -> Result<Procedure, SchedError> {
+        self.instrumented("set_arg_memory", format!("{arg}, {mem:?}"), || {
+            self.set_arg_memory_impl(arg, mem)
+        })
+    }
+
+    fn set_arg_memory_impl(&self, arg: &str, mem: MemName) -> Result<Procedure, SchedError> {
         let mut proc: Proc = (**self.proc()).clone();
         let mut hit = false;
         for a in &mut proc.args {
@@ -90,6 +130,10 @@ impl Procedure {
     /// equivalent because reads of uninitialized memory are errors
     /// (paper §4.1).
     pub fn lift_alloc(&self, alloc_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("lift_alloc", alloc_pat, || self.lift_alloc_impl(alloc_pat))
+    }
+
+    fn lift_alloc_impl(&self, alloc_pat: &str) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
         let Stmt::Alloc { shape, .. } = self.stmt(&path)?.clone() else {
             return serr(format!("lift_alloc: {alloc_pat:?} is not an allocation"));
@@ -123,6 +167,19 @@ impl Procedure {
     /// The expression pattern is either `"buf[_]"` (the first read of
     /// `buf`) or the exact printed form of the expression.
     pub fn bind_expr(
+        &self,
+        stmt_pat: &str,
+        expr_pat: &str,
+        new_name: &str,
+    ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "bind_expr",
+            format!("{stmt_pat}, {expr_pat}, {new_name}"),
+            || self.bind_expr_impl(stmt_pat, expr_pat, new_name),
+        )
+    }
+
+    fn bind_expr_impl(
         &self,
         stmt_pat: &str,
         expr_pat: &str,
@@ -164,16 +221,30 @@ impl Procedure {
 
         let fresh = Sym::new(new_name);
         let dtype = self.infer_dtype(&target);
-        let alloc = Stmt::Alloc { name: fresh, ty: dtype, shape: vec![], mem: MemName::dram() };
-        let bind = Stmt::Assign { buf: fresh, idx: vec![], rhs: target.clone() };
+        let alloc = Stmt::Alloc {
+            name: fresh,
+            ty: dtype,
+            shape: vec![],
+            mem: MemName::dram(),
+        };
+        let bind = Stmt::Assign {
+            buf: fresh,
+            idx: vec![],
+            rhs: target.clone(),
+        };
         let replaced = map_stmt_exprs(&stmt, &mut |e| {
             if e == target {
-                Expr::Read { buf: fresh, idx: vec![] }
+                Expr::Read {
+                    buf: fresh,
+                    idx: vec![],
+                }
             } else {
                 e
             }
         });
-        self.splice(&path, &mut |_| vec![alloc.clone(), bind.clone(), replaced.clone()])
+        self.splice(&path, &mut |_| {
+            vec![alloc.clone(), bind.clone(), replaced.clone()]
+        })
     }
 
     /// `expand_scalar(s, e, lane, a', MEM)`: scalar expansion for
@@ -196,10 +267,27 @@ impl Procedure {
         new_name: &str,
         mem: MemName,
     ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "expand_scalar",
+            format!("{stmt_pat}, {expr_pat}, {lane_loop}, {new_name}"),
+            || self.expand_scalar_impl(stmt_pat, expr_pat, lane_loop, new_name, mem),
+        )
+    }
+
+    fn expand_scalar_impl(
+        &self,
+        stmt_pat: &str,
+        expr_pat: &str,
+        lane_loop: &str,
+        new_name: &str,
+        mem: MemName,
+    ) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let stmt = self.stmt(&path)?.clone();
         let target = find_expr(&stmt, expr_pat).ok_or_else(|| {
-            SchedError::new(format!("expand_scalar: no sub-expression matches {expr_pat:?}"))
+            SchedError::new(format!(
+                "expand_scalar: no sub-expression matches {expr_pat:?}"
+            ))
         })?;
         // locate the lane loop inside the statement, with constant extent
         let mut lane: Option<(Sym, i64)> = None;
@@ -245,29 +333,41 @@ impl Procedure {
         // loop would still be fine if the expansion were placed deeper;
         // keep the simple rule: everything must be in scope at `s`
         if used.intersection(&inner_bound).next().is_some() {
-            return serr(
-                "expand_scalar: expression uses variables bound inside the statement",
-            );
+            return serr("expand_scalar: expression uses variables bound inside the statement");
         }
 
         let fresh = Sym::new(new_name);
         let dtype = self.infer_dtype(&target);
         let l = Sym::new("l");
-        let alloc = Stmt::Alloc { name: fresh, ty: dtype, shape: vec![Expr::int(lanes)], mem };
+        let alloc = Stmt::Alloc {
+            name: fresh,
+            ty: dtype,
+            shape: vec![Expr::int(lanes)],
+            mem,
+        };
         let fill = Stmt::For {
             iter: l,
             lo: Expr::int(0),
             hi: Expr::int(lanes),
-            body: vec![Stmt::Assign { buf: fresh, idx: vec![Expr::var(l)], rhs: target.clone() }],
+            body: vec![Stmt::Assign {
+                buf: fresh,
+                idx: vec![Expr::var(l)],
+                rhs: target.clone(),
+            }],
         };
         let replaced = map_stmt_exprs(&stmt, &mut |e| {
             if e == target {
-                Expr::Read { buf: fresh, idx: vec![Expr::var(lane_var)] }
+                Expr::Read {
+                    buf: fresh,
+                    idx: vec![Expr::var(lane_var)],
+                }
             } else {
                 e
             }
         });
-        self.splice(&path, &mut |_| vec![alloc.clone(), fill.clone(), replaced.clone()])
+        self.splice(&path, &mut |_| {
+            vec![alloc.clone(), fill.clone(), replaced.clone()]
+        })
     }
 
     pub(crate) fn infer_dtype(&self, e: &Expr) -> DataType {
@@ -308,6 +408,21 @@ impl Procedure {
     /// not cover every access, or if `buf` escapes the block through a
     /// window or call argument.
     pub fn stage_mem(
+        &self,
+        stmt_pat: &str,
+        buf_name: &str,
+        window: &[(Expr, Expr)],
+        new_name: &str,
+        mem: MemName,
+    ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "stage_mem",
+            format!("{stmt_pat}, {buf_name}, {new_name}, {mem:?}"),
+            || self.stage_mem_impl(stmt_pat, buf_name, window, new_name, mem),
+        )
+    }
+
+    fn stage_mem_impl(
         &self,
         stmt_pat: &str,
         buf_name: &str,
@@ -378,7 +493,10 @@ impl Procedure {
         }
 
         let fresh = Sym::new(new_name);
-        let dtype = self.infer_dtype(&Expr::Read { buf, idx: vec![Expr::int(0)] });
+        let dtype = self.infer_dtype(&Expr::Read {
+            buf,
+            idx: vec![Expr::int(0)],
+        });
         let sizes: Vec<Expr> = window
             .iter()
             .map(|(lo, hi)| fold_expr(&hi.clone().sub(lo.clone())))
@@ -403,8 +521,9 @@ impl Procedure {
         // address them separately)
         let mk_loops = |load: bool| -> Stmt {
             let prefix = if load { "ld" } else { "st" };
-            let iters: Vec<Sym> =
-                (0..window.len()).map(|d| Sym::new(format!("{prefix}{d}"))).collect();
+            let iters: Vec<Sym> = (0..window.len())
+                .map(|d| Sym::new(format!("{prefix}{d}")))
+                .collect();
             let inner_new: Vec<Expr> = iters.iter().map(|&i| Expr::var(i)).collect();
             let inner_buf: Vec<Expr> = iters
                 .iter()
@@ -415,13 +534,19 @@ impl Procedure {
                 Stmt::Assign {
                     buf: fresh,
                     idx: inner_new.clone(),
-                    rhs: Expr::Read { buf, idx: inner_buf.clone() },
+                    rhs: Expr::Read {
+                        buf,
+                        idx: inner_buf.clone(),
+                    },
                 }
             } else {
                 Stmt::Assign {
                     buf,
                     idx: inner_buf,
-                    rhs: Expr::Read { buf: fresh, idx: inner_new },
+                    rhs: Expr::Read {
+                        buf: fresh,
+                        idx: inner_new,
+                    },
                 }
             };
             for (d, &it) in iters.iter().enumerate().rev() {
@@ -435,7 +560,12 @@ impl Procedure {
             s
         };
 
-        let mut out = vec![Stmt::Alloc { name: fresh, ty: dtype, shape: sizes.clone(), mem }];
+        let mut out = vec![Stmt::Alloc {
+            name: fresh,
+            ty: dtype,
+            shape: sizes.clone(),
+            mem,
+        }];
         if reads {
             out.push(mk_loops(true));
         }
@@ -505,12 +635,21 @@ fn rebase_stores(s: &Stmt, buf: Sym, fresh: Sym, window: &[(Expr, Expr)]) -> Stm
             iter: *iter,
             lo: lo.clone(),
             hi: hi.clone(),
-            body: body.iter().map(|s| rebase_stores(s, buf, fresh, window)).collect(),
+            body: body
+                .iter()
+                .map(|s| rebase_stores(s, buf, fresh, window))
+                .collect(),
         },
         Stmt::If { cond, body, orelse } => Stmt::If {
             cond: cond.clone(),
-            body: body.iter().map(|s| rebase_stores(s, buf, fresh, window)).collect(),
-            orelse: orelse.iter().map(|s| rebase_stores(s, buf, fresh, window)).collect(),
+            body: body
+                .iter()
+                .map(|s| rebase_stores(s, buf, fresh, window))
+                .collect(),
+            orelse: orelse
+                .iter()
+                .map(|s| rebase_stores(s, buf, fresh, window))
+                .collect(),
         },
         other => other.clone(),
     }
@@ -554,14 +693,12 @@ fn find_expr(stmt: &Stmt, pat: &str) -> Option<Expr> {
             Stmt::WriteConfig { rhs, .. } => sc(rhs),
             Stmt::If { cond, body, orelse } => {
                 sc(cond);
-                drop(sc);
                 stack.extend(body.iter().cloned());
                 stack.extend(orelse.iter().cloned());
             }
             Stmt::For { lo, hi, body, .. } => {
                 sc(lo);
                 sc(hi);
-                drop(sc);
                 stack.extend(body.iter().cloned());
             }
             Stmt::Call { args, .. } => args.iter().for_each(&mut sc),

@@ -33,6 +33,20 @@ impl Procedure {
         io_name: &str,
         ii_name: &str,
     ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "split",
+            format!("{loop_pat}, {c}, {io_name}, {ii_name}"),
+            || self.split_impl(loop_pat, c, io_name, ii_name),
+        )
+    }
+
+    fn split_impl(
+        &self,
+        loop_pat: &str,
+        c: i64,
+        io_name: &str,
+        ii_name: &str,
+    ) -> Result<Procedure, SchedError> {
         if c <= 0 {
             return serr("split: factor must be positive");
         }
@@ -52,10 +66,7 @@ impl Procedure {
             let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
             let li = lctx.lower_int(&hi_e);
             let side = lctx.assumptions();
-            let goal = Formula::and(vec![
-                li.def,
-                Formula::dvd(c, li.val),
-            ]);
+            let goal = Formula::and(vec![li.def, Formula::dvd(c, li.val)]);
             drop(st);
             self.require_valid(
                 Formula::and(vec![hyp, side]),
@@ -94,6 +105,20 @@ impl Procedure {
     /// non-divisible extents with a tail guard
     /// `if c·io + ii < N:` around the body.
     pub fn split_guard(
+        &self,
+        loop_pat: &str,
+        c: i64,
+        io_name: &str,
+        ii_name: &str,
+    ) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "split_guard",
+            format!("{loop_pat}, {c}, {io_name}, {ii_name}"),
+            || self.split_guard_impl(loop_pat, c, io_name, ii_name),
+        )
+    }
+
+    fn split_guard_impl(
         &self,
         loop_pat: &str,
         c: i64,
@@ -141,11 +166,29 @@ impl Procedure {
     /// `for i: for j: s ~> for j: for i: s` after checking the §5.8
     /// reordering condition.
     pub fn reorder(&self, outer_pat: &str, inner_name: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("reorder", format!("{outer_pat}, {inner_name}"), || {
+            self.reorder_impl(outer_pat, inner_name)
+        })
+    }
+
+    fn reorder_impl(&self, outer_pat: &str, inner_name: &str) -> Result<Procedure, SchedError> {
         let path = self.find(outer_pat)?;
-        let Stmt::For { iter: x, lo: xlo, hi: xhi, body } = self.stmt(&path)?.clone() else {
+        let Stmt::For {
+            iter: x,
+            lo: xlo,
+            hi: xhi,
+            body,
+        } = self.stmt(&path)?.clone()
+        else {
             return serr(format!("reorder: {outer_pat:?} is not a loop"));
         };
-        let [Stmt::For { iter: y, lo: ylo, hi: yhi, body: inner_body }] = &body[..] else {
+        let [Stmt::For {
+            iter: y,
+            lo: ylo,
+            hi: yhi,
+            body: inner_body,
+        }] = &body[..]
+        else {
             return serr("reorder: the outer loop body must be exactly one nested loop");
         };
         if y.name() != inner_name {
@@ -205,6 +248,10 @@ impl Procedure {
 
     /// `unroll(i)`: fully unrolls a loop with constant bounds.
     pub fn unroll(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("unroll", loop_pat, || self.unroll_impl(loop_pat))
+    }
+
+    fn unroll_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
         let path = self.find(loop_pat)?;
         let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
             return serr(format!("unroll: {loop_pat:?} is not a loop"));
@@ -229,6 +276,12 @@ impl Procedure {
     /// statement into two loops, the first ending after the statement
     /// (paper Fig. 2 `fission_after`, condition §5.8).
     pub fn fission_after(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("fission_after", stmt_pat, || {
+            self.fission_after_impl(stmt_pat)
+        })
+    }
+
+    fn fission_after_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
         let spath = self.find(stmt_pat)?;
         let Some(loop_path) = spath.parent() else {
             return serr("fission_after: statement is not inside a loop");
@@ -244,12 +297,12 @@ impl Procedure {
 
         // structural scoping: allocations in part1 must not be used in part2
         let mut alloc_syms = Vec::new();
-        visit_stmts(&part1.to_vec(), &mut |s| {
+        visit_stmts(part1, &mut |s| {
             if let Stmt::Alloc { name, .. } | Stmt::WindowDef { name, .. } = s {
                 alloc_syms.push(*name);
             }
         });
-        let part2_free = free_syms_block(&part2.to_vec());
+        let part2_free = free_syms_block(part2);
         if alloc_syms.iter().any(|s| part2_free.contains(s)) {
             return serr("fission_after: cannot fission across an allocation used later");
         }
@@ -262,14 +315,8 @@ impl Procedure {
         let eff2 = effect_of_stmts_at(self.proc(), part2, &site.genv, &mut st.reg);
         let bounds_eff = config_reads_of(&[lo.clone(), hi.clone()]);
         let mut lctx = LowerCtx::new();
-        let cond = conditions::loop_fission(
-            iter,
-            (&lo_e, &hi_e),
-            &bounds_eff,
-            &eff1,
-            &eff2,
-            &mut lctx,
-        );
+        let cond =
+            conditions::loop_fission(iter, (&lo_e, &hi_e), &bounds_eff, &eff1, &eff2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
         drop(st);
         self.require_valid(hyp, cond, &format!("fission_after({stmt_pat})"))?;
@@ -287,7 +334,7 @@ impl Procedure {
             iter: iter2,
             lo,
             hi,
-            body: refresh_bound(&subst_block(&part2.to_vec(), &map)),
+            body: refresh_bound(&subst_block(part2, &map)),
         };
         self.splice(&loop_path, &mut |_| vec![loop1.clone(), loop2.clone()])
     }
@@ -296,12 +343,29 @@ impl Procedure {
     /// following sibling loop (which must have identical bounds); the
     /// safety condition is the same as fission (§5.8).
     pub fn fuse_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("fuse_loop", loop_pat, || self.fuse_loop_impl(loop_pat))
+    }
+
+    fn fuse_loop_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
         let path1 = self.find(loop_pat)?;
-        let path2 = path1.sibling(1).ok_or_else(|| SchedError::new("fuse_loop: no sibling"))?;
-        let Stmt::For { iter: x1, lo: lo1, hi: hi1, body: b1 } = self.stmt(&path1)?.clone() else {
+        let path2 = path1
+            .sibling(1)
+            .ok_or_else(|| SchedError::new("fuse_loop: no sibling"))?;
+        let Stmt::For {
+            iter: x1,
+            lo: lo1,
+            hi: hi1,
+            body: b1,
+        } = self.stmt(&path1)?.clone()
+        else {
             return serr(format!("fuse_loop: {loop_pat:?} is not a loop"));
         };
-        let Ok(Stmt::For { iter: x2, lo: lo2, hi: hi2, body: b2 }) = self.stmt(&path2).cloned()
+        let Ok(Stmt::For {
+            iter: x2,
+            lo: lo2,
+            hi: hi2,
+            body: b2,
+        }) = self.stmt(&path2).cloned()
         else {
             return serr("fuse_loop: next statement is not a loop");
         };
@@ -321,21 +385,20 @@ impl Procedure {
         let eff2 = effect_of_stmts_at(self.proc(), &b2r, &site.genv, &mut st.reg);
         let bounds_eff = config_reads_of(&[lo1.clone(), hi1.clone()]);
         let mut lctx = LowerCtx::new();
-        let cond = conditions::loop_fission(
-            x1,
-            (&lo_e, &hi_e),
-            &bounds_eff,
-            &eff1,
-            &eff2,
-            &mut lctx,
-        );
+        let cond =
+            conditions::loop_fission(x1, (&lo_e, &hi_e), &bounds_eff, &eff1, &eff2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
         drop(st);
         self.require_valid(hyp, cond, &format!("fuse_loop({loop_pat})"))?;
 
         let mut fused_body = b1;
         fused_body.extend(b2r);
-        let fused = Stmt::For { iter: x1, lo: lo1, hi: hi1, body: fused_body };
+        let fused = Stmt::For {
+            iter: x1,
+            lo: lo1,
+            hi: hi1,
+            body: fused_body,
+        };
         // splice: replace loop1 with fused, delete loop2
         let p = self.splice(&path1, &mut |_| vec![fused.clone()])?;
         let del_path = path2;
@@ -346,6 +409,12 @@ impl Procedure {
     /// into two back-to-back loops (always equivalence-preserving when
     /// `lo + c ≤ hi` is provable).
     pub fn partition_loop(&self, loop_pat: &str, c: i64) -> Result<Procedure, SchedError> {
+        self.instrumented("partition_loop", format!("{loop_pat}, {c}"), || {
+            self.partition_loop_impl(loop_pat, c)
+        })
+    }
+
+    fn partition_loop_impl(&self, loop_pat: &str, c: i64) -> Result<Procedure, SchedError> {
         if c < 0 {
             return serr("partition_loop: offset must be non-negative");
         }
@@ -369,7 +438,12 @@ impl Procedure {
         let iter2 = iter.copy();
         let mut map = HashMap::new();
         map.insert(iter, Expr::var(iter2));
-        let loop1 = Stmt::For { iter, lo, hi: mid.clone(), body: body.clone() };
+        let loop1 = Stmt::For {
+            iter,
+            lo,
+            hi: mid.clone(),
+            body: body.clone(),
+        };
         let loop2 = Stmt::For {
             iter: iter2,
             lo: mid,
@@ -383,6 +457,10 @@ impl Procedure {
     /// definitely runs at least once, the body is idempotent
     /// (`Shadows(a, a)`, §5.8), and `x` is not free in the body.
     pub fn remove_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("remove_loop", loop_pat, || self.remove_loop_impl(loop_pat))
+    }
+
+    fn remove_loop_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
         let path = self.find(loop_pat)?;
         let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
             return serr(format!("remove_loop: {loop_pat:?} is not a loop"));
@@ -406,6 +484,10 @@ impl Procedure {
     /// `lift_if`: hoists a loop-invariant conditional out of its
     /// enclosing loop: `for i: if c: s ~> if c: for i: s`.
     pub fn lift_if(&self, if_pat: &str) -> Result<Procedure, SchedError> {
+        self.instrumented("lift_if", if_pat, || self.lift_if_impl(if_pat))
+    }
+
+    fn lift_if_impl(&self, if_pat: &str) -> Result<Procedure, SchedError> {
         let if_path = self.find(if_pat)?;
         let Some(loop_path) = if_path.parent() else {
             return serr("lift_if: conditional is not inside a loop");
@@ -416,7 +498,12 @@ impl Procedure {
         if body.len() != 1 {
             return serr("lift_if: the conditional must be the loop's only statement");
         }
-        let Stmt::If { cond, body: then_b, orelse } = body[0].clone() else {
+        let Stmt::If {
+            cond,
+            body: then_b,
+            orelse,
+        } = body[0].clone()
+        else {
             return serr("lift_if: matched statement is not a conditional");
         };
         let mut cond_syms = std::collections::HashSet::new();
@@ -432,7 +519,7 @@ impl Procedure {
         let site = self.site(&loop_path)?;
         let mut st = self.state().lock().expect("scheduler state poisoned");
         let whole_eff = effect_of_stmts_at(self.proc(), &body, &site.genv, &mut st.reg);
-        let cond_eff = config_reads_of(&[cond.clone()]);
+        let cond_eff = config_reads_of(std::slice::from_ref(&cond));
         let mut lctx = LowerCtx::new();
         let safe = conditions::commutes(&cond_eff, &whole_eff, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
@@ -453,7 +540,12 @@ impl Procedure {
                 let i2 = iter.copy();
                 let mut m = HashMap::new();
                 m.insert(iter, Expr::var(i2));
-                vec![Stmt::For { iter: i2, lo, hi, body: subst_block(&orelse, &m) }]
+                vec![Stmt::For {
+                    iter: i2,
+                    lo,
+                    hi,
+                    body: subst_block(&orelse, &m),
+                }]
             },
         };
         self.splice(&loop_path, &mut |_| vec![lifted.clone()])
@@ -463,6 +555,12 @@ impl Procedure {
     /// guard must be provably true whenever the statement executes, so
     /// the rewrite is equivalence-preserving.
     pub fn add_guard(&self, stmt_pat: &str, cond: Expr) -> Result<Procedure, SchedError> {
+        self.instrumented("add_guard", stmt_pat, || {
+            self.add_guard_impl(stmt_pat, cond)
+        })
+    }
+
+    fn add_guard_impl(&self, stmt_pat: &str, cond: Expr) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let site = self.site(&path)?;
         {
@@ -475,14 +573,21 @@ impl Procedure {
             self.require_valid(hyp, goal, &format!("add_guard({stmt_pat})"))?;
         }
         let stmt = self.stmt(&path)?.clone();
-        let guarded = Stmt::If { cond, body: vec![stmt], orelse: vec![] };
+        let guarded = Stmt::If {
+            cond,
+            body: vec![stmt],
+            orelse: vec![],
+        };
         self.splice(&path, &mut |_| vec![guarded.clone()])
     }
 
     /// `simplify()`: folds constants throughout the body (always
     /// equivalence-preserving).
     pub fn simplify(&self) -> Procedure {
-        self.with_body(fold_block(self.body()))
+        self.instrumented("simplify", "", || {
+            Ok(self.with_body(fold_block(self.body())))
+        })
+        .expect("simplify is infallible")
     }
 }
 

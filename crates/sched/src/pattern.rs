@@ -60,7 +60,9 @@ impl fmt::Display for PatternError {
 impl std::error::Error for PatternError {}
 
 fn perr<T>(message: impl Into<String>) -> Result<T, PatternError> {
-    Err(PatternError { message: message.into() })
+    Err(PatternError {
+        message: message.into(),
+    })
 }
 
 impl Pattern {
@@ -74,10 +76,9 @@ impl Pattern {
         // optional trailing "#n"
         let (body, index) = match text.rsplit_once('#') {
             Some((b, n)) => {
-                let idx: usize = n
-                    .trim()
-                    .parse()
-                    .map_err(|_| PatternError { message: format!("bad match index in {text:?}") })?;
+                let idx: usize = n.trim().parse().map_err(|_| PatternError {
+                    message: format!("bad match index in {text:?}"),
+                })?;
                 (b.trim(), idx)
             }
             None => (text, 0),
@@ -94,10 +95,9 @@ impl Pattern {
             return Ok(StmtPattern::If);
         }
         if let Some(rest) = body.strip_prefix("for ") {
-            let name = rest
-                .split_whitespace()
-                .next()
-                .ok_or_else(|| PatternError { message: format!("bad for-pattern {body:?}") })?;
+            let name = rest.split_whitespace().next().ok_or_else(|| PatternError {
+                message: format!("bad for-pattern {body:?}"),
+            })?;
             return Ok(StmtPattern::For(name.to_string()));
         }
         if let Some((lhs, _)) = body.split_once('=') {
@@ -206,7 +206,9 @@ fn base_name(lhs: &str) -> Result<String, PatternError> {
 
 fn is_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -238,10 +240,22 @@ mod tests {
             Pattern::parse("for i in _: _").unwrap().kind,
             StmtPattern::For("i".into())
         );
-        assert_eq!(Pattern::parse("res : _").unwrap().kind, StmtPattern::Alloc("res".into()));
-        assert_eq!(Pattern::parse("C[_] += _").unwrap().kind, StmtPattern::Reduce("C".into()));
-        assert_eq!(Pattern::parse("C[_,_] = _").unwrap().kind, StmtPattern::Assign("C".into()));
-        assert_eq!(Pattern::parse("foo(_)").unwrap().kind, StmtPattern::Call("foo".into()));
+        assert_eq!(
+            Pattern::parse("res : _").unwrap().kind,
+            StmtPattern::Alloc("res".into())
+        );
+        assert_eq!(
+            Pattern::parse("C[_] += _").unwrap().kind,
+            StmtPattern::Reduce("C".into())
+        );
+        assert_eq!(
+            Pattern::parse("C[_,_] = _").unwrap().kind,
+            StmtPattern::Assign("C".into())
+        );
+        assert_eq!(
+            Pattern::parse("foo(_)").unwrap().kind,
+            StmtPattern::Call("foo".into())
+        );
         assert_eq!(Pattern::parse("if _: _").unwrap().kind, StmtPattern::If);
         let p = Pattern::parse("for i in _: _ #2").unwrap();
         assert_eq!(p.index, 2);
@@ -251,10 +265,19 @@ mod tests {
     #[test]
     fn find_selects_nth() {
         let body = sample();
-        let p0 = Pattern::parse("for i in _: _").unwrap().find(&body).unwrap();
-        let p1 = Pattern::parse("for i in _: _ #1").unwrap().find(&body).unwrap();
+        let p0 = Pattern::parse("for i in _: _")
+            .unwrap()
+            .find(&body)
+            .unwrap();
+        let p1 = Pattern::parse("for i in _: _ #1")
+            .unwrap()
+            .find(&body)
+            .unwrap();
         assert_ne!(p0, p1);
-        assert!(Pattern::parse("for i in _: _ #2").unwrap().find(&body).is_err());
+        assert!(Pattern::parse("for i in _: _ #2")
+            .unwrap()
+            .find(&body)
+            .is_err());
     }
 
     #[test]
@@ -269,7 +292,13 @@ mod tests {
     #[test]
     fn find_all_counts() {
         let body = sample();
-        assert_eq!(Pattern::parse("for i in _: _").unwrap().find_all(&body).len(), 2);
+        assert_eq!(
+            Pattern::parse("for i in _: _")
+                .unwrap()
+                .find_all(&body)
+                .len(),
+            2
+        );
         assert_eq!(Pattern::parse("pass").unwrap().find_all(&body).len(), 1);
     }
 }

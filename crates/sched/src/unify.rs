@@ -15,11 +15,11 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
+use exo_analysis::effexpr::{EffExpr, LowerCtx};
+use exo_analysis::globals::lift_in_env;
 use exo_core::ir::{ArgType, Expr, Proc, Stmt, WAccess};
 use exo_core::visit::{visit_expr, visit_stmts};
 use exo_core::Sym;
-use exo_analysis::effexpr::{EffExpr, LowerCtx};
-use exo_analysis::globals::lift_in_env;
 use exo_smt::formula::Formula;
 use exo_smt::linear::LinExpr;
 
@@ -57,6 +57,14 @@ impl Procedure {
     /// the match of `stmt_pat` with a call to `callee`, inferring the
     /// arguments by unification.
     pub fn replace(&self, stmt_pat: &str, callee: &Arc<Proc>) -> Result<Procedure, SchedError> {
+        self.instrumented(
+            "replace",
+            format!("{stmt_pat}, {}", callee.name.name()),
+            || self.replace_impl(stmt_pat, callee),
+        )
+    }
+
+    fn replace_impl(&self, stmt_pat: &str, callee: &Arc<Proc>) -> Result<Procedure, SchedError> {
         let first = self.find(stmt_pat)?;
         let n = callee.body.len();
         if n == 0 {
@@ -144,8 +152,18 @@ impl Procedure {
         match (ce, pe) {
             (Stmt::Pass, Stmt::Pass) => out.push(st),
             (
-                Stmt::For { iter: ci, lo: cl, hi: ch, body: cb },
-                Stmt::For { iter: pi, lo: pl, hi: ph, body: pb },
+                Stmt::For {
+                    iter: ci,
+                    lo: cl,
+                    hi: ch,
+                    body: cb,
+                },
+                Stmt::For {
+                    iter: pi,
+                    lo: pl,
+                    hi: ph,
+                    body: pb,
+                },
             ) => {
                 st.alpha.insert(*ci, *pi);
                 st.equations.push((cl.clone(), pl.clone()));
@@ -153,8 +171,16 @@ impl Procedure {
                 self.unify_block(callee, cb, pb, st, out)?;
             }
             (
-                Stmt::If { cond: cc, body: cb, orelse: co },
-                Stmt::If { cond: pc, body: pb, orelse: po },
+                Stmt::If {
+                    cond: cc,
+                    body: cb,
+                    orelse: co,
+                },
+                Stmt::If {
+                    cond: pc,
+                    body: pb,
+                    orelse: po,
+                },
             ) => {
                 st.bool_checks.push((cc.clone(), pc.clone()));
                 let mut mids = Vec::new();
@@ -164,12 +190,28 @@ impl Procedure {
                 }
             }
             (
-                Stmt::Assign { buf: cbuf, idx: cidx, rhs: crhs },
-                Stmt::Assign { buf: pbuf, idx: pidx, rhs: prhs },
+                Stmt::Assign {
+                    buf: cbuf,
+                    idx: cidx,
+                    rhs: crhs,
+                },
+                Stmt::Assign {
+                    buf: pbuf,
+                    idx: pidx,
+                    rhs: prhs,
+                },
             )
             | (
-                Stmt::Reduce { buf: cbuf, idx: cidx, rhs: crhs },
-                Stmt::Reduce { buf: pbuf, idx: pidx, rhs: prhs },
+                Stmt::Reduce {
+                    buf: cbuf,
+                    idx: cidx,
+                    rhs: crhs,
+                },
+                Stmt::Reduce {
+                    buf: pbuf,
+                    idx: pidx,
+                    rhs: prhs,
+                },
             ) => {
                 let mut mids = Vec::new();
                 self.unify_access(callee, *cbuf, cidx, *pbuf, pidx, st, &mut mids)?;
@@ -180,25 +222,39 @@ impl Procedure {
                 }
             }
             (
-                Stmt::WriteConfig { config: cc, field: cf, rhs: cr },
-                Stmt::WriteConfig { config: pc, field: pf, rhs: pr },
-            ) => {
-                if cc == pc && cf == pf {
-                    st.equations.push((cr.clone(), pr.clone()));
-                    out.push(st);
-                }
+                Stmt::WriteConfig {
+                    config: cc,
+                    field: cf,
+                    rhs: cr,
+                },
+                Stmt::WriteConfig {
+                    config: pc,
+                    field: pf,
+                    rhs: pr,
+                },
+            ) if cc == pc && cf == pf => {
+                st.equations.push((cr.clone(), pr.clone()));
+                out.push(st);
             }
             (
-                Stmt::Alloc { name: cn, ty: cty, shape: cs, mem: cm },
-                Stmt::Alloc { name: pn, ty: pty, shape: ps, mem: pm },
-            ) => {
-                if cty == pty && cm == pm && cs.len() == ps.len() {
-                    st.alpha.insert(*cn, *pn);
-                    for (a, b) in cs.iter().zip(ps) {
-                        st.equations.push((a.clone(), b.clone()));
-                    }
-                    out.push(st);
+                Stmt::Alloc {
+                    name: cn,
+                    ty: cty,
+                    shape: cs,
+                    mem: cm,
+                },
+                Stmt::Alloc {
+                    name: pn,
+                    ty: pty,
+                    shape: ps,
+                    mem: pm,
+                },
+            ) if cty == pty && cm == pm && cs.len() == ps.len() => {
+                st.alpha.insert(*cn, *pn);
+                for (a, b) in cs.iter().zip(ps) {
+                    st.equations.push((a.clone(), b.clone()));
                 }
+                out.push(st);
             }
             (Stmt::Call { .. }, Stmt::Call { .. }) => {
                 return serr("replace: nested calls in the callee body are not supported");
@@ -210,6 +266,7 @@ impl Procedure {
 
     /// Unifies a buffer access `cbuf[cidx]` (callee) against
     /// `pbuf[pidx]` (caller).
+    #[allow(clippy::too_many_arguments)]
     fn unify_access(
         &self,
         callee: &Proc,
@@ -291,12 +348,12 @@ impl Procedure {
             for (k, &d) in bind.dim_map.iter().enumerate() {
                 k_of.insert(d, k);
             }
-            for d in 0..caller_rank {
+            for (d, pd) in pidx.iter().enumerate().take(caller_rank) {
                 let lhs = match k_of.get(&d) {
                     Some(&k) => Expr::var(bind.offsets[d]).add(cidx[k].clone()),
                     None => Expr::var(bind.offsets[d]),
                 };
-                s2.equations.push((lhs, pidx[d].clone()));
+                s2.equations.push((lhs, pd.clone()));
             }
             out.push(s2);
         }
@@ -312,36 +369,32 @@ impl Procedure {
         out: &mut Vec<UnifyState>,
     ) -> Result<(), SchedError> {
         match (ce, pe) {
-            (Expr::Lit(a), Expr::Lit(b)) => {
-                if a == b {
-                    out.push(st);
-                }
+            (Expr::Lit(a), Expr::Lit(b)) if a == b => {
+                out.push(st);
             }
             (Expr::Read { buf: cb, idx: ci }, Expr::Read { buf: pb, idx: pi }) => {
                 self.unify_access(callee, *cb, ci, *pb, pi, st, out)?;
             }
-            (Expr::BinOp(co, ca, cb), Expr::BinOp(po, pa, pb)) => {
-                if co == po {
-                    let mut mids = Vec::new();
-                    self.unify_data(callee, ca, pa, st, &mut mids)?;
-                    for m in mids {
-                        self.unify_data(callee, cb, pb, m, out)?;
-                    }
+            (Expr::BinOp(co, ca, cb), Expr::BinOp(po, pa, pb)) if co == po => {
+                let mut mids = Vec::new();
+                self.unify_data(callee, ca, pa, st, &mut mids)?;
+                for m in mids {
+                    self.unify_data(callee, cb, pb, m, out)?;
                 }
             }
             (Expr::Neg(ca), Expr::Neg(pa)) => self.unify_data(callee, ca, pa, st, out)?,
-            (Expr::BuiltIn { func: cf, args: ca }, Expr::BuiltIn { func: pf, args: pa }) => {
-                if cf.name() == pf.name() && ca.len() == pa.len() {
-                    let mut states = vec![st];
-                    for (x, y) in ca.iter().zip(pa) {
-                        let mut next = Vec::new();
-                        for s in states {
-                            self.unify_data(callee, x, y, s, &mut next)?;
-                        }
-                        states = next;
+            (Expr::BuiltIn { func: cf, args: ca }, Expr::BuiltIn { func: pf, args: pa })
+                if cf.name() == pf.name() && ca.len() == pa.len() =>
+            {
+                let mut states = vec![st];
+                for (x, y) in ca.iter().zip(pa) {
+                    let mut next = Vec::new();
+                    for s in states {
+                        self.unify_data(callee, x, y, s, &mut next)?;
                     }
-                    out.extend(states);
+                    states = next;
                 }
+                out.extend(states);
             }
             _ => {}
         }
@@ -378,9 +431,10 @@ impl Procedure {
         let mut rank = None;
         visit_stmts(self.body(), &mut |s| match s {
             Stmt::Alloc { name, shape, .. } if *name == buf => rank = Some(shape.len()),
-            Stmt::WindowDef { name, rhs: Expr::Window { coords, .. } } if *name == buf => {
-                rank = Some(coords.iter().filter(|c| c.is_interval()).count())
-            }
+            Stmt::WindowDef {
+                name,
+                rhs: Expr::Window { coords, .. },
+            } if *name == buf => rank = Some(coords.iter().filter(|c| c.is_interval()).count()),
             _ => {}
         });
         rank
@@ -405,8 +459,12 @@ impl Procedure {
         {
             let mut guard = self.state().lock().expect("scheduler state poisoned");
             for (cl, pl) in &st.equations {
-                let cl_e = lift_in_env(cl, &site.genv, &mut guard.reg)
-                    .subst(&st.alpha.iter().map(|(&a, &b)| (a, EffExpr::Var(b))).collect());
+                let cl_e = lift_in_env(cl, &site.genv, &mut guard.reg).subst(
+                    &st.alpha
+                        .iter()
+                        .map(|(&a, &b)| (a, EffExpr::Var(b)))
+                        .collect(),
+                );
                 let pl_e = lift_in_env(pl, &site.genv, &mut guard.reg);
                 let li = lctx.lower_int(&cl_e);
                 let ri = lctx.lower_int(&pl_e);
@@ -437,11 +495,14 @@ impl Procedure {
                         let mut rest_e = eq.clone();
                         rest_e.coeffs.remove(&v);
                         let val = rest_e.scale(-c); // c = ±1 ⇒ exact
-                        // substitute into existing solutions and work
+                                                    // substitute into existing solutions and work
                         for sol in solution.values_mut() {
                             *sol = sol.subst(v, &val);
                         }
-                        rest = rest.into_iter().map(|e: LinExpr| e.subst(v, &val)).collect();
+                        rest = rest
+                            .into_iter()
+                            .map(|e: LinExpr| e.subst(v, &val))
+                            .collect();
                         work = work.into_iter().map(|e| e.subst(v, &val)).collect();
                         solution.insert(v, val);
                         progress = true;
@@ -590,13 +651,19 @@ impl Procedure {
                             }
                         }
                     }
-                    args.push(Expr::Window { buf: bind.caller_buf, coords });
+                    args.push(Expr::Window {
+                        buf: bind.caller_buf,
+                        coords,
+                    });
                 }
             }
         }
 
         drop(guard);
-        let call = Stmt::Call { proc: Arc::clone(callee), args };
+        let call = Stmt::Call {
+            proc: Arc::clone(callee),
+            args,
+        };
         // splice: the first statement becomes the call; delete the rest
         let mut p = self.splice(first, &mut |_| vec![call.clone()])?;
         for _ in 1..n {
@@ -628,11 +695,7 @@ fn increasing_injections(k: usize, r: usize) -> Vec<Vec<usize>> {
 /// Rebuilds a surface expression from a solved linear expression,
 /// mapping canonical stride and configuration symbols back to
 /// `stride(buf, d)` and `Config.field` expressions.
-fn expr_of_lin_ctx(
-    e: &LinExpr,
-    lctx: &LowerCtx,
-    reg: &exo_analysis::globals::GlobalReg,
-) -> Expr {
+fn expr_of_lin_ctx(e: &LinExpr, lctx: &LowerCtx, reg: &exo_analysis::globals::GlobalReg) -> Expr {
     let var_expr = |v: Sym| -> Expr {
         if let Some((buf, dim)) = lctx.stride_of(v) {
             Expr::Stride { buf, dim }
@@ -648,7 +711,11 @@ fn expr_of_lin_ctx(
         None
     };
     for (&v, &c) in &e.coeffs {
-        let term = if c == 1 { var_expr(v) } else { Expr::int(c).mul(var_expr(v)) };
+        let term = if c == 1 {
+            var_expr(v)
+        } else {
+            Expr::int(c).mul(var_expr(v))
+        };
         acc = Some(match acc {
             None => term,
             Some(a) => a.add(term),
@@ -672,11 +739,7 @@ fn effexpr_of_lin(e: &LinExpr) -> EffExpr {
 
 /// Substitutes solved formals (and tensor strides) into a lifted callee
 /// precondition.
-fn subst_pred(
-    e: &EffExpr,
-    solution: &HashMap<Sym, LinExpr>,
-    st: &UnifyState,
-) -> EffExpr {
+fn subst_pred(e: &EffExpr, solution: &HashMap<Sym, LinExpr>, st: &UnifyState) -> EffExpr {
     match e {
         EffExpr::Var(v) => match solution.get(v) {
             Some(l) => effexpr_of_lin(l),

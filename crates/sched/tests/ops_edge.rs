@@ -13,7 +13,12 @@ use exo_sched::Procedure;
 
 fn run_vec(proc: &Proc, n: usize) -> Vec<f64> {
     let mut m = Machine::new();
-    let x = m.alloc_extern("x", DataType::F32, &[n], &(0..n).map(|i| i as f64).collect::<Vec<_>>());
+    let x = m.alloc_extern(
+        "x",
+        DataType::F32,
+        &[n],
+        &(0..n).map(|i| i as f64).collect::<Vec<_>>(),
+    );
     m.run(proc, &[ArgVal::Tensor(x)]).unwrap();
     m.buffer_values(x).unwrap()
 }
@@ -46,7 +51,11 @@ fn shadow_delete_rejects_read_between() {
     let mut b = ProcBuilder::new("p");
     let x = b.tensor("x", DataType::F32, vec![Expr::int(4)]);
     b.assign(x, vec![Expr::int(0)], Expr::float(1.0));
-    b.assign(x, vec![Expr::int(0)], read(x, vec![Expr::int(0)]).add(Expr::float(1.0)));
+    b.assign(
+        x,
+        vec![Expr::int(0)],
+        read(x, vec![Expr::int(0)]).add(Expr::float(1.0)),
+    );
     let p = Procedure::new(b.finish());
     assert!(p.shadow_delete("x[_] = _").is_err());
 }
@@ -70,7 +79,11 @@ fn expand_scalar_requires_lane_invariance() {
     let mut b = ProcBuilder::new("p");
     let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
     let l = b.begin_for("lane", Expr::int(0), Expr::int(16));
-    b.assign(x, vec![Expr::var(l)], read(x, vec![Expr::var(l)]).mul(Expr::float(2.0)));
+    b.assign(
+        x,
+        vec![Expr::var(l)],
+        read(x, vec![Expr::var(l)]).mul(Expr::float(2.0)),
+    );
     b.end_for();
     let p = Procedure::new(b.finish());
     let e = p
@@ -85,7 +98,11 @@ fn expand_scalar_correctness() {
     let mut b = ProcBuilder::new("p");
     let x = b.tensor("x", DataType::F32, vec![Expr::int(16)]);
     let l = b.begin_for("lane", Expr::int(0), Expr::int(16));
-    b.reduce(x, vec![Expr::var(l)], read(x, vec![Expr::int(3)]).mul(Expr::float(0.0)));
+    b.reduce(
+        x,
+        vec![Expr::var(l)],
+        read(x, vec![Expr::int(3)]).mul(Expr::float(0.0)),
+    );
     b.end_for();
     let p = Procedure::new(b.finish());
     let q = p
@@ -206,7 +223,11 @@ fn replace_multi_statement_block() {
     b.assign(x, vec![Expr::var(i)], Expr::float(0.0));
     b.end_for();
     let j = b.begin_for("j", Expr::int(0), Expr::int(4));
-    b.reduce(x, vec![Expr::var(j)], read(x, vec![Expr::var(j).add(Expr::int(4))]));
+    b.reduce(
+        x,
+        vec![Expr::var(j)],
+        read(x, vec![Expr::var(j).add(Expr::int(4))]),
+    );
     b.end_for();
     let p = Procedure::new(b.finish());
     let q = p.replace("for i in _: _", &Arc::clone(&instr)).unwrap();

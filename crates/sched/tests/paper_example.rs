@@ -23,13 +23,27 @@ fn ld_data_instr() -> Arc<Proc> {
     let mut b = ProcBuilder::new("ld_data");
     let n = b.size("n");
     let m = b.size("m");
-    let src = b.window_arg("src", DataType::F32, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-    let dst = b.window_arg("dst", DataType::F32, vec![Expr::var(n), Expr::var(m)], scratchpad());
+    let src = b.window_arg(
+        "src",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        MemName::dram(),
+    );
+    let dst = b.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        scratchpad(),
+    );
     b.assert_pred(Expr::var(m).le(Expr::int(16)));
     b.instr("config_ld({src}.strides[0]);\nmvin({src}.data, {dst}.data, {n}, {m});");
     let i = b.begin_for("i", Expr::int(0), Expr::var(n));
     let j = b.begin_for("j", Expr::int(0), Expr::var(m));
-    b.assign(dst, vec![Expr::var(i), Expr::var(j)], read(src, vec![Expr::var(i), Expr::var(j)]));
+    b.assign(
+        dst,
+        vec![Expr::var(i), Expr::var(j)],
+        read(src, vec![Expr::var(i), Expr::var(j)]),
+    );
     b.end_for().end_for();
     b.finish()
 }
@@ -49,17 +63,28 @@ fn config_parts() -> (Sym, Sym, Arc<Proc>, Arc<Proc>) {
     let mut rb = ProcBuilder::new("real_ld_data");
     let n = rb.size("n");
     let m = rb.size("m");
-    let src =
-        rb.window_arg("src", DataType::F32, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-    let dst = rb.window_arg("dst", DataType::F32, vec![Expr::var(n), Expr::var(m)], scratchpad());
-    rb.assert_pred(Expr::var(m).le(Expr::int(16)));
-    rb.assert_pred(
-        Expr::ReadConfig { config: cfg, field }.eq(Expr::Stride { buf: src, dim: 0 }),
+    let src = rb.window_arg(
+        "src",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        MemName::dram(),
     );
+    let dst = rb.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        scratchpad(),
+    );
+    rb.assert_pred(Expr::var(m).le(Expr::int(16)));
+    rb.assert_pred(Expr::ReadConfig { config: cfg, field }.eq(Expr::Stride { buf: src, dim: 0 }));
     rb.instr("mvin({src}.data, {dst}.data, {n}, {m});");
     let i = rb.begin_for("i", Expr::int(0), Expr::var(n));
     let j = rb.begin_for("j", Expr::int(0), Expr::var(m));
-    rb.assign(dst, vec![Expr::var(i), Expr::var(j)], read(src, vec![Expr::var(i), Expr::var(j)]));
+    rb.assign(
+        dst,
+        vec![Expr::var(i), Expr::var(j)],
+        read(src, vec![Expr::var(i), Expr::var(j)]),
+    );
     rb.end_for().end_for();
     let real_ld = rb.finish();
 
@@ -70,14 +95,28 @@ fn config_parts() -> (Sym, Sym, Arc<Proc>, Arc<Proc>) {
 fn copy_kernel() -> Arc<Proc> {
     let mut b = ProcBuilder::new("load_tile");
     let a = b.tensor("A", DataType::F32, vec![Expr::int(8), Expr::int(8)]);
-    let spad = b.tensor_in("spad", DataType::F32, vec![Expr::int(8), Expr::int(8)], scratchpad());
+    let spad = b.tensor_in(
+        "spad",
+        DataType::F32,
+        vec![Expr::int(8), Expr::int(8)],
+        scratchpad(),
+    );
     let io = b.begin_for("io", Expr::int(0), Expr::int(2));
     let i = b.begin_for("i", Expr::int(0), Expr::int(4));
     let j = b.begin_for("j", Expr::int(0), Expr::int(8));
     b.assign(
         spad,
-        vec![Expr::var(io).mul(Expr::int(4)).add(Expr::var(i)), Expr::var(j)],
-        read(a, vec![Expr::var(io).mul(Expr::int(4)).add(Expr::var(i)), Expr::var(j)]),
+        vec![
+            Expr::var(io).mul(Expr::int(4)).add(Expr::var(i)),
+            Expr::var(j),
+        ],
+        read(
+            a,
+            vec![
+                Expr::var(io).mul(Expr::int(4)).add(Expr::var(i)),
+                Expr::var(j),
+            ],
+        ),
     );
     b.end_for().end_for().end_for();
     b.finish()
@@ -85,11 +124,14 @@ fn copy_kernel() -> Arc<Proc> {
 
 fn run_copy(proc: &Proc) -> (Vec<f64>, Vec<exo_interp::HwOp>) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-    let a: Vec<f64> = (0..64).map(|_| rng.gen_range(-4.0..4.0f64).round()).collect();
+    let a: Vec<f64> = (0..64)
+        .map(|_| rng.gen_range(-4.0..4.0f64).round())
+        .collect();
     let mut m = Machine::new();
     let ida = m.alloc_extern("A", DataType::F32, &[8, 8], &a);
     let ids = m.alloc_extern("spad", DataType::F32, &[8, 8], &vec![0.0; 64]);
-    m.run(proc, &[ArgVal::Tensor(ida), ArgVal::Tensor(ids)]).expect("run failed");
+    m.run(proc, &[ArgVal::Tensor(ida), ArgVal::Tensor(ids)])
+        .expect("run failed");
     (m.buffer_values(ids).unwrap(), m.take_trace())
 }
 
@@ -124,13 +166,27 @@ fn replace_rejects_wrong_shape() {
     let mut b = ProcBuilder::new("ld_small");
     let n = b.size("n");
     let m = b.size("m");
-    let src = b.window_arg("src", DataType::F32, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-    let dst = b.window_arg("dst", DataType::F32, vec![Expr::var(n), Expr::var(m)], scratchpad());
+    let src = b.window_arg(
+        "src",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        MemName::dram(),
+    );
+    let dst = b.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        scratchpad(),
+    );
     b.assert_pred(Expr::var(m).le(Expr::int(4)));
     b.instr("mvin_small(…);");
     let i = b.begin_for("i", Expr::int(0), Expr::var(n));
     let j = b.begin_for("j", Expr::int(0), Expr::var(m));
-    b.assign(dst, vec![Expr::var(i), Expr::var(j)], read(src, vec![Expr::var(i), Expr::var(j)]));
+    b.assign(
+        dst,
+        vec![Expr::var(i), Expr::var(j)],
+        read(src, vec![Expr::var(i), Expr::var(j)]),
+    );
     b.end_for().end_for();
     let ld_small = b.finish();
 
@@ -148,12 +204,26 @@ fn config_write_workflow_of_section_2_4() {
     let mut b = ProcBuilder::new("ld_app");
     let n = b.size("n");
     let m = b.size("m");
-    let src = b.window_arg("src", DataType::F32, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-    let dst = b.window_arg("dst", DataType::F32, vec![Expr::var(n), Expr::var(m)], scratchpad());
+    let src = b.window_arg(
+        "src",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        MemName::dram(),
+    );
+    let dst = b.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        scratchpad(),
+    );
     b.assert_pred(Expr::var(m).le(Expr::int(16)));
     let i = b.begin_for("i", Expr::int(0), Expr::var(n));
     let j = b.begin_for("j", Expr::int(0), Expr::var(m));
-    b.assign(dst, vec![Expr::var(i), Expr::var(j)], read(src, vec![Expr::var(i), Expr::var(j)]));
+    b.assign(
+        dst,
+        vec![Expr::var(i), Expr::var(j)],
+        read(src, vec![Expr::var(i), Expr::var(j)]),
+    );
     b.end_for().end_for();
     let p = Procedure::new(b.finish());
 
@@ -167,8 +237,13 @@ fn config_write_workflow_of_section_2_4() {
         )
         .unwrap();
     assert!(with_cfg.polluted().contains(&(cfg, field)));
-    assert!(with_cfg.show().contains("ConfigLoad.src_stride = stride(src, 0)"), "{}",
-        with_cfg.show());
+    assert!(
+        with_cfg
+            .show()
+            .contains("ConfigLoad.src_stride = stride(src, 0)"),
+        "{}",
+        with_cfg.show()
+    );
 
     // replace the loop with real_ld_data — the assert about the config
     // state is discharged by the dataflow value of the preceding write —
@@ -183,13 +258,23 @@ fn config_write_workflow_of_section_2_4() {
 
     // the scheduled procedure behaves identically
     let mut rng = rand::rngs::StdRng::seed_from_u64(99);
-    let data: Vec<f64> = (0..32).map(|_| rng.gen_range(-4.0..4.0f64).round()).collect();
+    let data: Vec<f64> = (0..32)
+        .map(|_| rng.gen_range(-4.0..4.0f64).round())
+        .collect();
     for proc in [p.proc(), done.proc()] {
         let mut m = Machine::new();
         let ids = m.alloc_extern("src", DataType::F32, &[4, 8], &data);
         let idd = m.alloc_extern("dst", DataType::F32, &[4, 8], &vec![0.0; 32]);
-        m.run(proc, &[ArgVal::Int(4), ArgVal::Int(8), ArgVal::Tensor(ids), ArgVal::Tensor(idd)])
-            .expect("run failed");
+        m.run(
+            proc,
+            &[
+                ArgVal::Int(4),
+                ArgVal::Int(8),
+                ArgVal::Tensor(ids),
+                ArgVal::Tensor(idd),
+            ],
+        )
+        .expect("run failed");
         assert_eq!(m.buffer_values(idd).unwrap(), data);
     }
 }
@@ -203,12 +288,26 @@ fn real_ld_precondition_rejected_without_config() {
     let mut b = ProcBuilder::new("ld_app2");
     let n = b.size("n");
     let m = b.size("m");
-    let src = b.window_arg("src", DataType::F32, vec![Expr::var(n), Expr::var(m)], MemName::dram());
-    let dst = b.window_arg("dst", DataType::F32, vec![Expr::var(n), Expr::var(m)], scratchpad());
+    let src = b.window_arg(
+        "src",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        MemName::dram(),
+    );
+    let dst = b.window_arg(
+        "dst",
+        DataType::F32,
+        vec![Expr::var(n), Expr::var(m)],
+        scratchpad(),
+    );
     b.assert_pred(Expr::var(m).le(Expr::int(16)));
     let i = b.begin_for("i", Expr::int(0), Expr::var(n));
     let j = b.begin_for("j", Expr::int(0), Expr::var(m));
-    b.assign(dst, vec![Expr::var(i), Expr::var(j)], read(src, vec![Expr::var(i), Expr::var(j)]));
+    b.assign(
+        dst,
+        vec![Expr::var(i), Expr::var(j)],
+        read(src, vec![Expr::var(i), Expr::var(j)]),
+    );
     b.end_for().end_for();
     let p = Procedure::new(b.finish());
     assert!(p.replace("for i in _: _", &real_ld).is_err());

@@ -24,7 +24,8 @@ fn run_on(proc: &Proc, inputs: &[Vec<f64>], shapes: &[Vec<usize>]) -> Vec<f64> {
         .collect();
     let args: Vec<ArgVal> = ids.iter().map(|&id| ArgVal::Tensor(id)).collect();
     m.run(proc, &args).expect("interpretation failed");
-    m.buffer_values(*ids.last().expect("at least one buffer")).expect("output uninitialized")
+    m.buffer_values(*ids.last().expect("at least one buffer"))
+        .expect("output uninitialized")
 }
 
 /// Asserts two schedules of the same signature agree on random inputs.
@@ -98,7 +99,11 @@ fn reorder_independent_loops() {
     let q = p.reorder("for i in _: _", "j").unwrap();
     assert_equiv(&p, &q, &gemm_shapes(6));
     // j is now outermost
-    assert!(q.show().trim_start().lines().any(|l| l.contains("for j")), "{}", q.show());
+    assert!(
+        q.show().trim_start().lines().any(|l| l.contains("for j")),
+        "{}",
+        q.show()
+    );
 }
 
 #[test]
@@ -108,7 +113,11 @@ fn reorder_rejects_carried_dependence() {
     let a = b.tensor("A", DataType::F32, vec![Expr::int(4)]);
     let i = b.begin_for("i", Expr::int(0), Expr::int(4));
     let j = b.begin_for("j", Expr::int(0), Expr::int(4));
-    b.assign(a, vec![Expr::var(j)], read(a, vec![Expr::var(i)]).add(Expr::float(1.0)));
+    b.assign(
+        a,
+        vec![Expr::var(j)],
+        read(a, vec![Expr::var(i)]).add(Expr::float(1.0)),
+    );
     b.end_for().end_for();
     let p = Procedure::new(b.finish());
     assert!(p.reorder("for i in _: _", "j").is_err());
@@ -138,7 +147,11 @@ fn full_tiling_pipeline() {
 #[test]
 fn unroll_small_loop() {
     let p = Procedure::new(gemm(4));
-    let q = p.split("for k in _: _", 2, "ko", "ki").unwrap().unroll("for ki in _: _").unwrap();
+    let q = p
+        .split("for k in _: _", 2, "ko", "ki")
+        .unwrap()
+        .unroll("for ki in _: _")
+        .unwrap();
     assert!(!q.show().contains("for ki"), "{}", q.show());
     assert_equiv(&p, &q, &gemm_shapes(4));
 }
@@ -152,7 +165,11 @@ fn fission_and_fuse_roundtrip() {
     let c = b.tensor("C", DataType::F32, vec![Expr::int(8)]);
     let i = b.begin_for("i", Expr::int(0), Expr::int(8));
     b.assign(a2, vec![Expr::var(i)], read(a, vec![Expr::var(i)]));
-    b.assign(c, vec![Expr::var(i)], read(a2, vec![Expr::var(i)]).mul(Expr::float(2.0)));
+    b.assign(
+        c,
+        vec![Expr::var(i)],
+        read(a2, vec![Expr::var(i)]).mul(Expr::float(2.0)),
+    );
     b.end_for();
     let p = Procedure::new(b.finish());
     let shapes = vec![vec![8], vec![8], vec![8]];
@@ -174,7 +191,11 @@ fn fission_rejects_backward_dependence() {
     let a = b.tensor("A", DataType::F32, vec![Expr::int(9)]);
     let c = b.tensor("C", DataType::F32, vec![Expr::int(8)]);
     let i = b.begin_for("i", Expr::int(0), Expr::int(8));
-    b.assign(c, vec![Expr::var(i)], read(a, vec![Expr::var(i).add(Expr::int(1))]));
+    b.assign(
+        c,
+        vec![Expr::var(i)],
+        read(a, vec![Expr::var(i).add(Expr::int(1))]),
+    );
     b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
     b.end_for();
     let p = Procedure::new(b.finish());
@@ -255,14 +276,24 @@ fn stage_mem_tiles_accumulator() {
             "for ii in _: _",
             "C",
             &[
-                (io.clone().mul(Expr::int(4)), io.mul(Expr::int(4)).add(Expr::int(4))),
-                (jo.clone().mul(Expr::int(4)), jo.mul(Expr::int(4)).add(Expr::int(4))),
+                (
+                    io.clone().mul(Expr::int(4)),
+                    io.mul(Expr::int(4)).add(Expr::int(4)),
+                ),
+                (
+                    jo.clone().mul(Expr::int(4)),
+                    jo.mul(Expr::int(4)).add(Expr::int(4)),
+                ),
             ],
             "res",
             MemName(Sym::new("ACCUM")),
         )
         .unwrap();
-    assert!(staged.show().contains("res : f32[4, 4] @ ACCUM"), "{}", staged.show());
+    assert!(
+        staged.show().contains("res : f32[4, 4] @ ACCUM"),
+        "{}",
+        staged.show()
+    );
     assert_equiv(&p, &staged, &gemm_shapes(8));
 }
 
@@ -333,11 +364,15 @@ fn add_guard_requires_provable_condition() {
     let p = Procedure::new(gemm(4));
     let i = find_iter(&p, "i");
     // i < 4 is provable inside the loop
-    let q = p.add_guard("C[_,_] += _", Expr::var(i).lt(Expr::int(4))).unwrap();
+    let q = p
+        .add_guard("C[_,_] += _", Expr::var(i).lt(Expr::int(4)))
+        .unwrap();
     assert!(q.show().contains("if i < 4:"), "{}", q.show());
     assert_equiv(&p, &q, &gemm_shapes(4));
     // i < 3 is not
-    assert!(p.add_guard("C[_,_] += _", Expr::var(i).lt(Expr::int(3))).is_err());
+    assert!(p
+        .add_guard("C[_,_] += _", Expr::var(i).lt(Expr::int(3)))
+        .is_err());
 }
 
 #[test]

@@ -282,8 +282,10 @@ impl Formula {
 /// the conjunction false.
 fn conj_has_bound_conflict(fs: &[Formula]) -> bool {
     use std::collections::HashMap;
+    type Dir = Vec<(Sym, i64)>;
+    type Bounds = (Option<i64>, Option<i64>);
     // direction → (max lower bound, min upper bound)
-    let mut bounds: HashMap<Vec<(Sym, i64)>, (Option<i64>, Option<i64>)> = HashMap::new();
+    let mut bounds: HashMap<Dir, Bounds> = HashMap::new();
     let mut note = |dir: Vec<(Sym, i64)>, lower: Option<i64>, upper: Option<i64>| -> bool {
         let entry = bounds.entry(dir).or_insert((None, None));
         if let Some(l) = lower {
@@ -369,9 +371,18 @@ mod tests {
 
     #[test]
     fn ground_atoms_fold() {
-        assert_eq!(Formula::le(LinExpr::constant(1), LinExpr::constant(2)), Formula::True);
-        assert_eq!(Formula::lt(LinExpr::constant(2), LinExpr::constant(2)), Formula::False);
-        assert_eq!(Formula::eq(LinExpr::constant(3), LinExpr::constant(3)), Formula::True);
+        assert_eq!(
+            Formula::le(LinExpr::constant(1), LinExpr::constant(2)),
+            Formula::True
+        );
+        assert_eq!(
+            Formula::lt(LinExpr::constant(2), LinExpr::constant(2)),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::eq(LinExpr::constant(3), LinExpr::constant(3)),
+            Formula::True
+        );
         assert_eq!(Formula::dvd(3, LinExpr::constant(9)), Formula::True);
         assert_eq!(Formula::dvd(3, LinExpr::constant(-1)), Formula::False);
     }
@@ -381,7 +392,10 @@ mod tests {
         let x = Sym::new("x");
         let a = Formula::le(LinExpr::var(x), LinExpr::constant(5));
         assert_eq!(Formula::and(vec![Formula::True, a.clone()]), a);
-        assert_eq!(Formula::and(vec![Formula::False, a.clone()]), Formula::False);
+        assert_eq!(
+            Formula::and(vec![Formula::False, a.clone()]),
+            Formula::False
+        );
         assert_eq!(Formula::or(vec![Formula::True, a.clone()]), Formula::True);
         assert_eq!(Formula::or(vec![Formula::False, a.clone()]), a);
         assert_eq!(Formula::or(vec![]), Formula::False);

@@ -22,14 +22,20 @@ pub struct LinExpr {
 impl LinExpr {
     /// The constant expression `c`.
     pub fn constant(c: i64) -> LinExpr {
-        LinExpr { constant: c, coeffs: BTreeMap::new() }
+        LinExpr {
+            constant: c,
+            coeffs: BTreeMap::new(),
+        }
     }
 
     /// The variable expression `x`.
     pub fn var(x: Sym) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(x, 1);
-        LinExpr { constant: 0, coeffs }
+        LinExpr {
+            constant: 0,
+            coeffs,
+        }
     }
 
     /// `c·x`.
@@ -38,7 +44,10 @@ impl LinExpr {
         if c != 0 {
             coeffs.insert(x, c);
         }
-        LinExpr { constant: 0, coeffs }
+        LinExpr {
+            constant: 0,
+            coeffs,
+        }
     }
 
     /// The coefficient of `x` (0 if absent).
@@ -93,7 +102,10 @@ impl LinExpr {
             return LinExpr::constant(0);
         }
         LinExpr {
-            constant: self.constant.checked_mul(c).expect("LinExpr overflow in scale"),
+            constant: self
+                .constant
+                .checked_mul(c)
+                .expect("LinExpr overflow in scale"),
             coeffs: self
                 .coeffs
                 .iter()
@@ -105,7 +117,10 @@ impl LinExpr {
     /// Adds a constant.
     pub fn offset(&self, c: i64) -> LinExpr {
         let mut out = self.clone();
-        out.constant = out.constant.checked_add(c).expect("LinExpr overflow in offset");
+        out.constant = out
+            .constant
+            .checked_add(c)
+            .expect("LinExpr overflow in offset");
         out
     }
 

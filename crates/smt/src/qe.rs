@@ -81,9 +81,7 @@ fn nnf(f: &Formula, neg: bool) -> Formula {
         Formula::Atom(a) => match (a, neg) {
             (Atom::Le(e), false) => Formula::Atom(Atom::Le(e.clone())),
             // ¬(e ≤ 0) ⇔ e ≥ 1 ⇔ 1 - e ≤ 0
-            (Atom::Le(e), true) => {
-                Formula::le(e.scale(-1).offset(1), LinExpr::constant(0))
-            }
+            (Atom::Le(e), true) => Formula::le(e.scale(-1).offset(1), LinExpr::constant(0)),
             // e = 0 ⇔ e ≤ 0 ∧ -e ≤ 0
             (Atom::Eq(e), false) => Formula::and(vec![
                 Formula::le(e.clone(), LinExpr::constant(0)),
@@ -111,7 +109,10 @@ pub struct QeBudget {
 
 impl Default for QeBudget {
     fn default() -> QeBudget {
-        QeBudget { max_size: 2_000_000, produced: 0 }
+        QeBudget {
+            max_size: 2_000_000,
+            produced: 0,
+        }
     }
 }
 
@@ -119,7 +120,9 @@ impl QeBudget {
     fn charge(&mut self, n: usize) -> Result<(), TooHard> {
         self.produced += n;
         if self.produced > self.max_size {
-            Err(TooHard { size: self.produced })
+            Err(TooHard {
+                size: self.produced,
+            })
         } else {
             Ok(())
         }
@@ -178,11 +181,7 @@ fn qe(f: &Formula, budget: &mut QeBudget) -> Result<Formula, TooHard> {
 }
 
 /// Eliminates `∃x` from a quantifier-free NNF formula.
-pub fn eliminate_exists(
-    x: Sym,
-    f: &Formula,
-    budget: &mut QeBudget,
-) -> Result<Formula, TooHard> {
+pub fn eliminate_exists(x: Sym, f: &Formula, budget: &mut QeBudget) -> Result<Formula, TooHard> {
     // Fast path: x does not occur.
     let mut fv = std::collections::BTreeSet::new();
     f.free_vars(&mut fv);
@@ -245,7 +244,11 @@ pub fn eliminate_exists(
         budget.charge(g.size())?;
         disjuncts.push(g);
         for b in boundary {
-            let point = if from_below { b.offset(j) } else { b.offset(-j) };
+            let point = if from_below {
+                b.offset(j)
+            } else {
+                b.offset(-j)
+            };
             let g = with_div.subst(x, &point);
             if g == Formula::True {
                 return Ok(Formula::True);
@@ -375,15 +378,14 @@ fn collect_bounds(
                 }
             }
         }
-        Formula::Atom(Atom::Dvd(m, e)) => {
-            if e.coeff(x) != 0 {
-                *delta = lcm(*delta, *m);
-            }
+        Formula::Atom(Atom::Dvd(m, e)) if e.coeff(x) != 0 => {
+            *delta = lcm(*delta, *m);
         }
         // in NNF, Not wraps only Dvd atoms
         Formula::Not(inner) => collect_bounds(inner, x, delta, lowers, uppers),
         Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().for_each(|g| collect_bounds(g, x, delta, lowers, uppers));
+            fs.iter()
+                .for_each(|g| collect_bounds(g, x, delta, lowers, uppers));
         }
         _ => {}
     }

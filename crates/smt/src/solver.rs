@@ -7,6 +7,7 @@
 //! `exo-sched` are the two levers).
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 use crate::formula::Formula;
 use crate::qe::{eliminate_all, QeBudget, TooHard};
@@ -40,6 +41,12 @@ pub struct SolverStats {
     pub gave_up: usize,
     /// Total QE nodes produced.
     pub nodes: usize,
+    /// Queries answered `Yes`.
+    pub yes: usize,
+    /// Queries answered `No`.
+    pub no: usize,
+    /// Total wall-clock time spent deciding (cache misses only), µs.
+    pub time_us: u64,
 }
 
 /// A Presburger-arithmetic solver with caching.
@@ -74,12 +81,19 @@ impl Default for Solver {
 impl Solver {
     /// Creates a solver with the default work limit.
     pub fn new() -> Solver {
-        Solver { cache: HashMap::new(), stats: SolverStats::default(), max_size: 5_000_000 }
+        Solver {
+            cache: HashMap::new(),
+            stats: SolverStats::default(),
+            max_size: 5_000_000,
+        }
     }
 
     /// Creates a solver with a custom work limit (QE nodes per query).
     pub fn with_limit(max_size: usize) -> Solver {
-        Solver { max_size, ..Solver::new() }
+        Solver {
+            max_size,
+            ..Solver::new()
+        }
     }
 
     /// Returns activity counters.
@@ -91,18 +105,36 @@ impl Solver {
     /// existentially quantified).
     pub fn check_sat(&mut self, f: &Formula) -> Answer {
         self.stats.queries += 1;
+        exo_obs::counter_add("smt.queries", 1);
         if let Some(&a) = self.cache.get(f) {
             self.stats.cache_hits += 1;
+            exo_obs::counter_add("smt.cache_hits", 1);
             return a;
         }
+        exo_obs::record_hist("smt.formula_size", f.size() as u64);
+        let start = Instant::now();
         let answer = match self.decide(f) {
             Ok(true) => Answer::Yes,
             Ok(false) => Answer::No,
-            Err(TooHard { .. }) => {
-                self.stats.gave_up += 1;
-                Answer::Unknown
-            }
+            Err(TooHard { .. }) => Answer::Unknown,
         };
+        let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.stats.time_us = self.stats.time_us.saturating_add(us);
+        exo_obs::record_hist("smt.query_us", us);
+        match answer {
+            Answer::Yes => {
+                self.stats.yes += 1;
+                exo_obs::counter_add("smt.answer.yes", 1);
+            }
+            Answer::No => {
+                self.stats.no += 1;
+                exo_obs::counter_add("smt.answer.no", 1);
+            }
+            Answer::Unknown => {
+                self.stats.gave_up += 1;
+                exo_obs::counter_add("smt.answer.unknown", 1);
+            }
+        }
         self.cache.insert(f.clone(), answer);
         answer
     }
@@ -123,7 +155,10 @@ impl Solver {
     }
 
     fn decide(&mut self, f: &Formula) -> Result<bool, TooHard> {
-        let mut budget = QeBudget { max_size: self.max_size, produced: 0 };
+        let mut budget = QeBudget {
+            max_size: self.max_size,
+            produced: 0,
+        };
         // First make the body quantifier-free; the ∃-closure over free
         // variables is then decided disjunct-by-disjunct with early exit.
         let result = eliminate_all(f, &mut budget).and_then(|qf| sat_qf(&qf, &mut budget));
@@ -190,9 +225,7 @@ fn occurrence_weight(f: &Formula, x: exo_core::sym::Sym) -> usize {
             usize::from(e.mentions(x))
         }
         Formula::Not(g) => occurrence_weight(g, x),
-        Formula::And(fs) | Formula::Or(fs) => {
-            fs.iter().map(|g| occurrence_weight(g, x)).sum()
-        }
+        Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|g| occurrence_weight(g, x)).sum(),
         _ => 0,
     }
 }
@@ -262,10 +295,7 @@ mod tests {
         let n = Sym::new("n");
         let hyp = Formula::and(vec![
             Formula::ge(LinExpr::var(io), LinExpr::constant(0)),
-            Formula::lt(
-                LinExpr::scaled_var(16, io),
-                LinExpr::var(n),
-            ),
+            Formula::lt(LinExpr::scaled_var(16, io), LinExpr::var(n)),
             Formula::ge(LinExpr::var(ii), LinExpr::constant(0)),
             Formula::lt(LinExpr::var(ii), LinExpr::constant(16)),
             Formula::dvd(16, LinExpr::var(n)),

@@ -7,6 +7,7 @@
 //! the box conjoined, bounded enumeration is exact, so any disagreement
 //! is a solver bug.
 
+#![cfg(feature = "proptest-tests")]
 
 use exo_core::sym::Sym;
 use exo_smt::formula::{Atom, Formula};
@@ -46,9 +47,8 @@ fn to_formula(f: &FExpr, vars: &[Sym]) -> Formula {
 }
 
 fn eval(f: &FExpr, asg: &[i64]) -> bool {
-    let dot = |cs: &[i64], c: i64| -> i64 {
-        cs.iter().zip(asg).map(|(k, v)| k * v).sum::<i64>() + c
-    };
+    let dot =
+        |cs: &[i64], c: i64| -> i64 { cs.iter().zip(asg).map(|(k, v)| k * v).sum::<i64>() + c };
     match f {
         FExpr::Le(cs, c) => dot(cs, *c) <= 0,
         FExpr::Eq(cs, c) => dot(cs, *c) == 0,

@@ -170,6 +170,40 @@ impl KernelProfile {
             flops: self.flops * n,
         }
     }
+
+    /// JSON form of the instruction counts.
+    pub fn to_json(&self) -> exo_obs::Json {
+        use exo_obs::Json;
+        Json::obj(vec![
+            ("fmas".into(), Json::uint(self.fmas)),
+            ("vec_loads".into(), Json::uint(self.vec_loads)),
+            ("vec_stores".into(), Json::uint(self.vec_stores)),
+            ("broadcasts".into(), Json::uint(self.broadcasts)),
+            ("other_vec".into(), Json::uint(self.other_vec)),
+            ("scalar_uops".into(), Json::uint(self.scalar_uops)),
+            ("loop_iters".into(), Json::uint(self.loop_iters)),
+            ("flops".into(), Json::uint(self.flops)),
+        ])
+    }
+}
+
+/// JSON report for one evaluated kernel: instruction profile, predicted
+/// cycles and throughput, and the fraction of machine peak achieved —
+/// the x86 analogue of `gemmini_sim::SimReport::to_json`.
+pub fn report_json(p: &KernelProfile, cycles: f64, core: &CoreModel) -> exo_obs::Json {
+    use exo_obs::Json;
+    let gflops = core.gflops(p.flops, cycles);
+    Json::obj(vec![
+        ("type".into(), Json::Str("sim_report".into())),
+        ("sim".into(), Json::Str("x86".into())),
+        ("cycles".into(), Json::Float(cycles)),
+        ("gflops".into(), Json::Float(gflops)),
+        (
+            "utilization".into(),
+            Json::Float(gflops / core.peak_gflops()),
+        ),
+        ("profile".into(), p.to_json()),
+    ])
 }
 
 fn classify(instr: &str, profile: &mut KernelProfile, lanes: u64) {
@@ -208,7 +242,11 @@ pub fn profile_proc(proc: &Proc) -> Option<KernelProfile> {
                     go(body, &mut a)?;
                     let mut b = KernelProfile::default();
                     go(orelse, &mut b)?;
-                    let take = if a.fmas + a.vec_loads >= b.fmas + b.vec_loads { a } else { b };
+                    let take = if a.fmas + a.vec_loads >= b.fmas + b.vec_loads {
+                        a
+                    } else {
+                        b
+                    };
                     profile.scalar_uops += 1; // the branch itself
                     *profile = profile.add(&take);
                 }
@@ -257,6 +295,8 @@ pub fn evaluate(
     core: &CoreModel,
     t: &traffic::Traffic,
 ) -> Option<(KernelProfile, f64)> {
+    let _span = exo_obs::Span::enter("x86_sim.evaluate")
+        .with_field("proc", exo_obs::Json::Str(proc.name.to_string()));
     let p = profile_proc(proc)?;
     let cycles = core.cycles(&p, t);
     Some((p, cycles))
@@ -307,8 +347,16 @@ mod tests {
 
     #[test]
     fn memory_traffic_caps_throughput() {
-        let p = KernelProfile { fmas: 1000, flops: 32_000, ..KernelProfile::default() };
-        let t = traffic::Traffic { l2_bytes: 0, l3_bytes: 0, mem_bytes: 1_000_000 };
+        let p = KernelProfile {
+            fmas: 1000,
+            flops: 32_000,
+            ..KernelProfile::default()
+        };
+        let t = traffic::Traffic {
+            l2_bytes: 0,
+            l3_bytes: 0,
+            mem_bytes: 1_000_000,
+        };
         let core = CoreModel::tiger_lake();
         let cycles = core.cycles(&p, &t);
         assert!(cycles >= 1_000_000.0 / core.mem_bw);
@@ -322,7 +370,11 @@ mod tests {
         let a = b.tensor("A", exo_core::DataType::F32, vec![Expr::int(32)]);
         let i = b.begin_for("i", Expr::int(0), Expr::int(4));
         let j = b.begin_for("j", Expr::int(0), Expr::int(8));
-        b.assign(a, vec![Expr::var(i).mul(Expr::int(8)).add(Expr::var(j))], Expr::float(0.0));
+        b.assign(
+            a,
+            vec![Expr::var(i).mul(Expr::int(8)).add(Expr::var(j))],
+            Expr::float(0.0),
+        );
         b.end_for().end_for();
         let p = profile_proc(&b.finish()).unwrap();
         assert_eq!(p.scalar_uops, 32);

@@ -107,7 +107,11 @@ pub fn gemm_traffic(m: u64, n: u64, k: u64, b: &GemmBlocking, core: &CoreModel) 
         // unpacked panels waste part of each cache line and TLB reach
         l2_bytes = (l2_bytes as f64 * 1.15) as u64;
     }
-    Traffic { l2_bytes, l3_bytes, mem_bytes }
+    Traffic {
+        l2_bytes,
+        l3_bytes,
+        mem_bytes,
+    }
 }
 
 /// Footprint-based traffic for a direct convolution
@@ -157,7 +161,11 @@ pub fn conv_traffic(s: &ConvShape, ow_tile: u64, core: &CoreModel) -> Traffic {
     };
     let l3_bytes = l3_w + in_bytes + out_bytes;
 
-    Traffic { l2_bytes, l3_bytes, mem_bytes }
+    Traffic {
+        l2_bytes,
+        l3_bytes,
+        mem_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -165,7 +173,14 @@ mod tests {
     use super::*;
 
     fn blis() -> GemmBlocking {
-        GemmBlocking { mr: 6, nr: 64, mc: 96, kc: 384, nc: 2048, packed: true }
+        GemmBlocking {
+            mr: 6,
+            nr: 64,
+            mc: 96,
+            kc: 384,
+            nc: 2048,
+            packed: true,
+        }
     }
 
     #[test]
@@ -191,7 +206,16 @@ mod tests {
     fn unpacked_panels_cost_more_l2() {
         let core = CoreModel::tiger_lake();
         let packed = gemm_traffic(512, 512, 512, &blis(), &core);
-        let unpacked = gemm_traffic(512, 512, 512, &GemmBlocking { packed: false, ..blis() }, &core);
+        let unpacked = gemm_traffic(
+            512,
+            512,
+            512,
+            &GemmBlocking {
+                packed: false,
+                ..blis()
+            },
+            &core,
+        );
         assert!(unpacked.l2_bytes > packed.l2_bytes);
         assert_eq!(unpacked.mem_bytes, packed.mem_bytes);
     }
@@ -199,7 +223,14 @@ mod tests {
     #[test]
     fn conv_traffic_scales_with_batch() {
         let core = CoreModel::tiger_lake();
-        let s1 = ConvShape { n: 1, oh: 80, ow: 100, ic: 128, oc: 128, kh: 3 };
+        let s1 = ConvShape {
+            n: 1,
+            oh: 80,
+            ow: 100,
+            ic: 128,
+            oc: 128,
+            kh: 3,
+        };
         let s5 = ConvShape { n: 5, ..s1 };
         let t1 = conv_traffic(&s1, 8, &core);
         let t5 = conv_traffic(&s5, 8, &core);

@@ -35,7 +35,10 @@ fn main() {
 
     // the Fig. 5a comparison at a few square sizes
     let core = CoreModel::tiger_lake();
-    println!("\n=== GFLOP/s on square sizes (peak {:.1}) ===", core.peak_gflops());
+    println!(
+        "\n=== GFLOP/s on square sizes (peak {:.1}) ===",
+        core.peak_gflops()
+    );
     println!("{:<8} {:>9} {:>9} {:>9}", "size", "Exo", "MKL", "OpenBLAS");
     for s in [384u64, 768, 1152, 1536, 1920] {
         println!(

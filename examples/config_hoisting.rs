@@ -21,27 +21,51 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "fused" behavior of §2.4
     let mut b = ProcBuilder::new("load_phase");
     let src = b.tensor("src", DataType::I8, vec![Expr::int(64), Expr::int(64)]);
-    let dst = b.tensor_in("dst", DataType::I8, vec![Expr::int(64), Expr::int(64)], lib.scratchpad);
+    let dst = b.tensor_in(
+        "dst",
+        DataType::I8,
+        vec![Expr::int(64), Expr::int(64)],
+        lib.scratchpad,
+    );
     let t = b.begin_for("t", Expr::int(0), Expr::int(4));
-    b.write_config(lib.config_ld.0, lib.config_ld.1, Expr::Stride { buf: src, dim: 0 });
+    b.write_config(
+        lib.config_ld.0,
+        lib.config_ld.1,
+        Expr::Stride { buf: src, dim: 0 },
+    );
     let i = b.begin_for("i", Expr::int(0), Expr::int(16));
     let j = b.begin_for("j", Expr::int(0), Expr::int(64));
     b.assign(
         dst,
-        vec![Expr::var(t).mul(Expr::int(16)).add(Expr::var(i)), Expr::var(j)],
-        exo::core::build::read(src, vec![Expr::var(t).mul(Expr::int(16)).add(Expr::var(i)), Expr::var(j)]),
+        vec![
+            Expr::var(t).mul(Expr::int(16)).add(Expr::var(i)),
+            Expr::var(j),
+        ],
+        exo::core::build::read(
+            src,
+            vec![
+                Expr::var(t).mul(Expr::int(16)).add(Expr::var(i)),
+                Expr::var(j),
+            ],
+        ),
     );
     b.end_for().end_for().end_for();
     let p = Procedure::with_state(b.finish(), state);
 
-    println!("=== before: the config write is inside the loop ===\n{}", p.show());
+    println!(
+        "=== before: the config write is inside the loop ===\n{}",
+        p.show()
+    );
 
     // hoist it: fission the loop after the write, then remove the
     // config-only loop (provably idempotent and non-empty, §5.8)
     let hoisted = p
         .fission_after("ConfigLd.src_stride = _")?
         .remove_loop("for t in _: _")?;
-    println!("=== after fission_after + remove_loop ===\n{}", hoisted.show());
+    println!(
+        "=== after fission_after + remove_loop ===\n{}",
+        hoisted.show()
+    );
 
     // why it matters: simulate both instruction streams
     let count = |q: &Procedure| {
@@ -56,7 +80,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(|q| q.replace("for i in _: _", &lib.mvin))
             .and_then(|q| q.replace("ConfigLd.src_stride = _", &lib.config_ld_instr))
             .expect("mapping");
-        m.run(q.proc(), &[ArgVal::Tensor(s), ArgVal::Tensor(d)]).expect("runs");
+        m.run(q.proc(), &[ArgVal::Tensor(s), ArgVal::Tensor(d)])
+            .expect("runs");
         m.take_trace()
     };
     let fused_trace = count(&p);

@@ -22,7 +22,10 @@ def gemm(A: f32[128, 128], B: f32[128, 128], C: f32[128, 128]):
 "#;
     let gemm = exo::front::parse_proc(src, &exo::front::ParseEnv::new())?;
     exo::core::check::check_proc(&gemm)?;
-    println!("=== the algorithm ===\n{}", exo::core::printer::proc_to_string(&gemm));
+    println!(
+        "=== the algorithm ===\n{}",
+        exo::core::printer::proc_to_string(&gemm)
+    );
 
     // 2. the schedule — §2.1's split/reorder rewrites, each one checked
     let p = Procedure::new(gemm.clone())
@@ -32,7 +35,11 @@ def gemm(A: f32[128, 128], B: f32[128, 128], C: f32[128, 128]):
         .reorder("for ii in _: _", "jo")?
         .reorder("for ji in _: _", "ko")?
         .reorder("for ii in _: _", "ko")?;
-    println!("=== after {} scheduling directives ===\n{}", p.directives(), p.show());
+    println!(
+        "=== after {} scheduling directives ===\n{}",
+        p.directives(),
+        p.show()
+    );
 
     // 3. the proof of equivalence, empirically: run both on the same data
     let run = |proc: &Proc| -> Vec<f64> {
@@ -43,8 +50,15 @@ def gemm(A: f32[128, 128], B: f32[128, 128], C: f32[128, 128]):
         let ida = m.alloc_extern("A", DataType::F32, &[n, n], &a);
         let idb = m.alloc_extern("B", DataType::F32, &[n, n], &b);
         let idc = m.alloc_extern("C", DataType::F32, &[n, n], &vec![0.0; n * n]);
-        m.run(proc, &[ArgVal::Tensor(ida), ArgVal::Tensor(idb), ArgVal::Tensor(idc)])
-            .expect("runs");
+        m.run(
+            proc,
+            &[
+                ArgVal::Tensor(ida),
+                ArgVal::Tensor(idb),
+                ArgVal::Tensor(idc),
+            ],
+        )
+        .expect("runs");
         m.buffer_values(idc).expect("initialized")
     };
     assert_eq!(run(&gemm), run(p.proc()));

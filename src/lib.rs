@@ -57,6 +57,7 @@ pub use exo_front as front;
 pub use exo_hwlibs as hwlibs;
 pub use exo_interp as interp;
 pub use exo_kernels as kernels;
+pub use exo_obs as obs;
 pub use exo_sched as sched;
 pub use exo_smt as smt;
 pub use gemmini_sim;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_config-3d81a6f66a74ec73.d: crates/bench/src/bin/ablation_config.rs
+
+/root/repo/target/debug/deps/ablation_config-3d81a6f66a74ec73: crates/bench/src/bin/ablation_config.rs
+
+crates/bench/src/bin/ablation_config.rs:

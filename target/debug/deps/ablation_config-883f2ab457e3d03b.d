@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_config-883f2ab457e3d03b.d: crates/bench/src/bin/ablation_config.rs
+
+/root/repo/target/debug/deps/ablation_config-883f2ab457e3d03b: crates/bench/src/bin/ablation_config.rs
+
+crates/bench/src/bin/ablation_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_config-cfc5b13a770dd045.d: crates/bench/src/bin/ablation_config.rs
+
+/root/repo/target/debug/deps/ablation_config-cfc5b13a770dd045: crates/bench/src/bin/ablation_config.rs
+
+crates/bench/src/bin/ablation_config.rs:

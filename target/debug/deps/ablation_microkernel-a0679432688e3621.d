@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_microkernel-a0679432688e3621.d: crates/bench/src/bin/ablation_microkernel.rs
+
+/root/repo/target/debug/deps/ablation_microkernel-a0679432688e3621: crates/bench/src/bin/ablation_microkernel.rs
+
+crates/bench/src/bin/ablation_microkernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_microkernel-e05ddc868b64b669.d: crates/bench/src/bin/ablation_microkernel.rs
+
+/root/repo/target/debug/deps/ablation_microkernel-e05ddc868b64b669: crates/bench/src/bin/ablation_microkernel.rs
+
+crates/bench/src/bin/ablation_microkernel.rs:

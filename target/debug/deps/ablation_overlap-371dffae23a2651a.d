@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-371dffae23a2651a.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-371dffae23a2651a: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-61601a7a03a61e88.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-61601a7a03a61e88: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

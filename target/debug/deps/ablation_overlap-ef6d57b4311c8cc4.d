@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-ef6d57b4311c8cc4.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-ef6d57b4311c8cc4: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

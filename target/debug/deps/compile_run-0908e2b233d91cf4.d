@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_run-0908e2b233d91cf4.d: crates/codegen/tests/compile_run.rs
+
+/root/repo/target/debug/deps/compile_run-0908e2b233d91cf4: crates/codegen/tests/compile_run.rs
+
+crates/codegen/tests/compile_run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_run-af2db44e3e8238da.d: crates/codegen/tests/compile_run.rs
+
+/root/repo/target/debug/deps/compile_run-af2db44e3e8238da: crates/codegen/tests/compile_run.rs
+
+crates/codegen/tests/compile_run.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-2c00bfc2b913fb86.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-2c00bfc2b913fb86.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-2c00bfc2b913fb86.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-b644e4d261478afd.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-b644e4d261478afd.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-b644e4d261478afd.rmeta: src/lib.rs
+
+src/lib.rs:

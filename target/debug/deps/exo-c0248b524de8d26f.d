@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-c0248b524de8d26f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-c0248b524de8d26f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-c0248b524de8d26f.rmeta: src/lib.rs
+
+src/lib.rs:

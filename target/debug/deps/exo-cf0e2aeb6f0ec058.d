@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo-cf0e2aeb6f0ec058.d: src/lib.rs
+
+/root/repo/target/debug/deps/exo-cf0e2aeb6f0ec058: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo-d6bffaa55b5426ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/exo-d6bffaa55b5426ea: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo-e7ceadaf9a178b2c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo-e7ceadaf9a178b2c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

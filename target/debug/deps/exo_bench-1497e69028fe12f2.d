@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo_bench-1497e69028fe12f2.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/exo_bench-1497e69028fe12f2: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

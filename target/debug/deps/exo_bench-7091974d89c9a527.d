@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_bench-7091974d89c9a527.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-7091974d89c9a527.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-7091974d89c9a527.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo_bench-93039500abb57aec.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/exo_bench-93039500abb57aec: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

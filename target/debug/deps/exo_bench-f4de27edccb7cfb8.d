@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_bench-f4de27edccb7cfb8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-f4de27edccb7cfb8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-f4de27edccb7cfb8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

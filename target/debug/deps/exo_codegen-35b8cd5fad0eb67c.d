@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_codegen-35b8cd5fad0eb67c.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/debug/deps/exo_codegen-35b8cd5fad0eb67c: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_codegen-9ca461933b3bf438.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/debug/deps/libexo_codegen-9ca461933b3bf438.rlib: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/debug/deps/libexo_codegen-9ca461933b3bf438.rmeta: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_codegen-ce8f2076b717a475.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/debug/deps/exo_codegen-ce8f2076b717a475: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_front-2c42e63c87091703.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/debug/deps/libexo_front-2c42e63c87091703.rlib: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/debug/deps/libexo_front-2c42e63c87091703.rmeta: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:

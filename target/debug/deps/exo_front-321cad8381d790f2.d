@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_front-321cad8381d790f2.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/debug/deps/exo_front-321cad8381d790f2: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_front-a1f6fe7c1129f677.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/debug/deps/exo_front-a1f6fe7c1129f677: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:

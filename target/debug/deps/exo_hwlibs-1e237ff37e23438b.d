@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_hwlibs-1e237ff37e23438b.d: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+/root/repo/target/debug/deps/libexo_hwlibs-1e237ff37e23438b.rlib: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+/root/repo/target/debug/deps/libexo_hwlibs-1e237ff37e23438b.rmeta: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+crates/hwlibs/src/lib.rs:
+crates/hwlibs/src/avx512.rs:
+crates/hwlibs/src/gemmini.rs:

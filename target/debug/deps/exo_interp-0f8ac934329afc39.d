@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exo_interp-0f8ac934329afc39.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libexo_interp-0f8ac934329afc39.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libexo_interp-0f8ac934329afc39.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/exo_interp-a5578ccbbbca26e5.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_interp-a5578ccbbbca26e5.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs Cargo.toml
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_kernels-44bb6fe4f8282522.d: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/debug/deps/exo_kernels-44bb6fe4f8282522: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/gemmini_conv.rs:
+crates/kernels/src/gemmini_gemm.rs:
+crates/kernels/src/x86_conv.rs:
+crates/kernels/src/x86_gemm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_kernels-d1b7957b40e4bad4.d: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/debug/deps/libexo_kernels-d1b7957b40e4bad4.rlib: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/debug/deps/libexo_kernels-d1b7957b40e4bad4.rmeta: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/gemmini_conv.rs:
+crates/kernels/src/gemmini_gemm.rs:
+crates/kernels/src/x86_conv.rs:
+crates/kernels/src/x86_gemm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_obs-119050981c67a5ff.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libexo_obs-119050981c67a5ff.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/libexo_obs-119050981c67a5ff.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/provenance.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exo_obs-1468833c2ede60cf.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_obs-1468833c2ede60cf.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/provenance.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_obs-6e3d434f709b6b32.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/debug/deps/exo_obs-6e3d434f709b6b32: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/provenance.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

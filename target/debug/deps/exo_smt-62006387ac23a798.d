@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/exo_smt-62006387ac23a798.d: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/debug/deps/libexo_smt-62006387ac23a798.rlib: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/debug/deps/libexo_smt-62006387ac23a798.rmeta: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/formula.rs:
+crates/smt/src/linear.rs:
+crates/smt/src/qe.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/ternary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-4e8e45672702db2f.d: crates/bench/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-4e8e45672702db2f: crates/bench/src/bin/fig4a.rs
+
+crates/bench/src/bin/fig4a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-79d2297ffe8dca3c.d: crates/bench/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-79d2297ffe8dca3c: crates/bench/src/bin/fig4a.rs
+
+crates/bench/src/bin/fig4a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-d57bcce117092c7b.d: crates/bench/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-d57bcce117092c7b: crates/bench/src/bin/fig4a.rs
+
+crates/bench/src/bin/fig4a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-56f94f15d33cacbc.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-56f94f15d33cacbc: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-6771de39ae7414e6.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-6771de39ae7414e6: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-7774abb04056de68.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-7774abb04056de68: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-97b6d3aa12322d05.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-97b6d3aa12322d05: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

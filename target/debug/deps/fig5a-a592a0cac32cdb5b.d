@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-a592a0cac32cdb5b.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-a592a0cac32cdb5b: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

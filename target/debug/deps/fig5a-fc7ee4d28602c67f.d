@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-fc7ee4d28602c67f.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-fc7ee4d28602c67f: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

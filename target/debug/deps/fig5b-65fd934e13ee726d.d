@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-65fd934e13ee726d.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-65fd934e13ee726d: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

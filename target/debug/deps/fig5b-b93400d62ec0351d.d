@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-b93400d62ec0351d.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-b93400d62ec0351d: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

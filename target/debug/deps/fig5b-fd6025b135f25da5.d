@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-fd6025b135f25da5.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-fd6025b135f25da5: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-5d8fc236999613cc.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-5d8fc236999613cc: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-bcd56dafc5769508.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-bcd56dafc5769508: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

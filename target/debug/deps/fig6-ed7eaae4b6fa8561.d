@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ed7eaae4b6fa8561.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ed7eaae4b6fa8561: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

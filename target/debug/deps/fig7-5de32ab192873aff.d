@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-5de32ab192873aff.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-5de32ab192873aff: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-e7b7f17dfdc1e287.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-e7b7f17dfdc1e287: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/gemmini_sim-03f8b8f3ef953d66.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/gemmini_sim-03f8b8f3ef953d66: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

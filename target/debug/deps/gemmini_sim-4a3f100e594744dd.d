@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/gemmini_sim-4a3f100e594744dd.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/gemmini_sim-4a3f100e594744dd: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

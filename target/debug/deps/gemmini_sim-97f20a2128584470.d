@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gemmini_sim-97f20a2128584470.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-97f20a2128584470.rlib: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-97f20a2128584470.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

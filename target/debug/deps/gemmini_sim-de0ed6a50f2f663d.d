@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gemmini_sim-de0ed6a50f2f663d.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgemmini_sim-de0ed6a50f2f663d.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs Cargo.toml
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gemmini_sim-fbf22b54475de551.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-fbf22b54475de551.rlib: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-fbf22b54475de551.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

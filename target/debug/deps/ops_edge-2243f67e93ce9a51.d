@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ops_edge-2243f67e93ce9a51.d: crates/sched/tests/ops_edge.rs
+
+/root/repo/target/debug/deps/ops_edge-2243f67e93ce9a51: crates/sched/tests/ops_edge.rs
+
+crates/sched/tests/ops_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ops_edge-d788ac1a8547958b.d: crates/sched/tests/ops_edge.rs
+
+/root/repo/target/debug/deps/ops_edge-d788ac1a8547958b: crates/sched/tests/ops_edge.rs
+
+crates/sched/tests/ops_edge.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-2dae885fdd205a0c.d: crates/sched/tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-2dae885fdd205a0c: crates/sched/tests/paper_example.rs
+
+crates/sched/tests/paper_example.rs:

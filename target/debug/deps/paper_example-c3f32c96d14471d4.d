@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-c3f32c96d14471d4.d: crates/sched/tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-c3f32c96d14471d4: crates/sched/tests/paper_example.rs
+
+crates/sched/tests/paper_example.rs:

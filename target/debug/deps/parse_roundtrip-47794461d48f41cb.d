@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_roundtrip-47794461d48f41cb.d: crates/front/tests/parse_roundtrip.rs
+
+/root/repo/target/debug/deps/parse_roundtrip-47794461d48f41cb: crates/front/tests/parse_roundtrip.rs
+
+crates/front/tests/parse_roundtrip.rs:

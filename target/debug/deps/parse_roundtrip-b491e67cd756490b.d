@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_roundtrip-b491e67cd756490b.d: crates/front/tests/parse_roundtrip.rs
+
+/root/repo/target/debug/deps/parse_roundtrip-b491e67cd756490b: crates/front/tests/parse_roundtrip.rs
+
+crates/front/tests/parse_roundtrip.rs:

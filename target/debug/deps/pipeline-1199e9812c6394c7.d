@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-1199e9812c6394c7.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-1199e9812c6394c7: tests/pipeline.rs
+
+tests/pipeline.rs:

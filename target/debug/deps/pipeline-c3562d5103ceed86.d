@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-c3562d5103ceed86.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-c3562d5103ceed86: tests/pipeline.rs
+
+tests/pipeline.rs:

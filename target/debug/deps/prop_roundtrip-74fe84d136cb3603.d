@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-74fe84d136cb3603.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-74fe84d136cb3603: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-bbbd6e8f0c41cd4e.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-bbbd6e8f0c41cd4e: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

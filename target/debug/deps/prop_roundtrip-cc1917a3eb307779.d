@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-cc1917a3eb307779.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-cc1917a3eb307779: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-4e75baeef3056ae0.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-4e75baeef3056ae0: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-8f2da882342fbf34.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-8f2da882342fbf34: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

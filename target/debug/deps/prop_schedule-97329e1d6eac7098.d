@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-97329e1d6eac7098.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-97329e1d6eac7098: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_solver-840d350efd9792c2.d: crates/smt/tests/prop_solver.rs
+
+/root/repo/target/debug/deps/prop_solver-840d350efd9792c2: crates/smt/tests/prop_solver.rs
+
+crates/smt/tests/prop_solver.rs:

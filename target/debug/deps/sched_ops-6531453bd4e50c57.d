@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ops-6531453bd4e50c57.d: crates/sched/tests/sched_ops.rs
+
+/root/repo/target/debug/deps/sched_ops-6531453bd4e50c57: crates/sched/tests/sched_ops.rs
+
+crates/sched/tests/sched_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_ops-7b7f4440de5de848.d: crates/sched/tests/sched_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_ops-7b7f4440de5de848.rmeta: crates/sched/tests/sched_ops.rs Cargo.toml
+
+crates/sched/tests/sched_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

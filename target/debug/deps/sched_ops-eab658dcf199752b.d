@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ops-eab658dcf199752b.d: crates/sched/tests/sched_ops.rs
+
+/root/repo/target/debug/deps/sched_ops-eab658dcf199752b: crates/sched/tests/sched_ops.rs
+
+crates/sched/tests/sched_ops.rs:

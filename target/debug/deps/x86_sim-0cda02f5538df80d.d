@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/x86_sim-0cda02f5538df80d.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/x86_sim-0cda02f5538df80d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/x86_sim-4bc52cc550cbda3a.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/x86_sim-4bc52cc550cbda3a: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

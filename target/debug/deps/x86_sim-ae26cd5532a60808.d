@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/x86_sim-ae26cd5532a60808.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-ae26cd5532a60808.rlib: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-ae26cd5532a60808.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

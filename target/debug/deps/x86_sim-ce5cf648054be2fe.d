@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/x86_sim-ce5cf648054be2fe.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-ce5cf648054be2fe.rlib: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-ce5cf648054be2fe.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avx512_sgemm-1a2058f1c7ac9821.d: examples/avx512_sgemm.rs
+
+/root/repo/target/debug/examples/avx512_sgemm-1a2058f1c7ac9821: examples/avx512_sgemm.rs
+
+examples/avx512_sgemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avx512_sgemm-dfb0eb5e5170864a.d: examples/avx512_sgemm.rs
+
+/root/repo/target/debug/examples/avx512_sgemm-dfb0eb5e5170864a: examples/avx512_sgemm.rs
+
+examples/avx512_sgemm.rs:

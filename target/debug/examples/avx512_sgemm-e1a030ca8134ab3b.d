@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avx512_sgemm-e1a030ca8134ab3b.d: examples/avx512_sgemm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavx512_sgemm-e1a030ca8134ab3b.rmeta: examples/avx512_sgemm.rs Cargo.toml
+
+examples/avx512_sgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

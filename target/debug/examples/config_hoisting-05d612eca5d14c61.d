@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hoisting-05d612eca5d14c61.d: examples/config_hoisting.rs
+
+/root/repo/target/debug/examples/config_hoisting-05d612eca5d14c61: examples/config_hoisting.rs
+
+examples/config_hoisting.rs:

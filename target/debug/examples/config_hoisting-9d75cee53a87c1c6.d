@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hoisting-9d75cee53a87c1c6.d: examples/config_hoisting.rs
+
+/root/repo/target/debug/examples/config_hoisting-9d75cee53a87c1c6: examples/config_hoisting.rs
+
+examples/config_hoisting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_hoisting-c3c2f901b71fcfd3.d: examples/config_hoisting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_hoisting-c3c2f901b71fcfd3.rmeta: examples/config_hoisting.rs Cargo.toml
+
+examples/config_hoisting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

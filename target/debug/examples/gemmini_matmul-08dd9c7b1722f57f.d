@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemmini_matmul-08dd9c7b1722f57f.d: examples/gemmini_matmul.rs
+
+/root/repo/target/debug/examples/gemmini_matmul-08dd9c7b1722f57f: examples/gemmini_matmul.rs
+
+examples/gemmini_matmul.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemmini_matmul-df2031411fd52ba2.d: examples/gemmini_matmul.rs
+
+/root/repo/target/debug/examples/gemmini_matmul-df2031411fd52ba2: examples/gemmini_matmul.rs
+
+examples/gemmini_matmul.rs:

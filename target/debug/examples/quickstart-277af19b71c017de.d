@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-277af19b71c017de.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-277af19b71c017de: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-43c8bf7652594995.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-43c8bf7652594995: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_transcript-87431fa401464538.d: examples/schedule_transcript.rs
+
+/root/repo/target/debug/examples/schedule_transcript-87431fa401464538: examples/schedule_transcript.rs
+
+examples/schedule_transcript.rs:

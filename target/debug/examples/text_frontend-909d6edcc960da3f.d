@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_frontend-909d6edcc960da3f.d: examples/text_frontend.rs
+
+/root/repo/target/debug/examples/text_frontend-909d6edcc960da3f: examples/text_frontend.rs
+
+examples/text_frontend.rs:

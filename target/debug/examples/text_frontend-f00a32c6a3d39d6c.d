@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_frontend-f00a32c6a3d39d6c.d: examples/text_frontend.rs
+
+/root/repo/target/debug/examples/text_frontend-f00a32c6a3d39d6c: examples/text_frontend.rs
+
+examples/text_frontend.rs:

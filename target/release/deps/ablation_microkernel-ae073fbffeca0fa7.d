@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_microkernel-ae073fbffeca0fa7.d: crates/bench/src/bin/ablation_microkernel.rs
+
+/root/repo/target/release/deps/ablation_microkernel-ae073fbffeca0fa7: crates/bench/src/bin/ablation_microkernel.rs
+
+crates/bench/src/bin/ablation_microkernel.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo-5a9ad262cb1d6a89.d: src/lib.rs
+
+/root/repo/target/release/deps/libexo-5a9ad262cb1d6a89.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libexo-5a9ad262cb1d6a89.rmeta: src/lib.rs
+
+src/lib.rs:

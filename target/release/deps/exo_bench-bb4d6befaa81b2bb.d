@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo_bench-bb4d6befaa81b2bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-bb4d6befaa81b2bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-bb4d6befaa81b2bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exo_codegen-15e5f297a5488ac5.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/release/deps/libexo_codegen-15e5f297a5488ac5.rlib: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/release/deps/libexo_codegen-15e5f297a5488ac5.rmeta: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exo_front-b89e7a25db0c384f.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/release/deps/libexo_front-b89e7a25db0c384f.rlib: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/release/deps/libexo_front-b89e7a25db0c384f.rmeta: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exo_hwlibs-24f36a2c972b7bf8.d: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+/root/repo/target/release/deps/libexo_hwlibs-24f36a2c972b7bf8.rlib: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+/root/repo/target/release/deps/libexo_hwlibs-24f36a2c972b7bf8.rmeta: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+crates/hwlibs/src/lib.rs:
+crates/hwlibs/src/avx512.rs:
+crates/hwlibs/src/gemmini.rs:

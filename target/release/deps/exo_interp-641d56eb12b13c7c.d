@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/exo_interp-641d56eb12b13c7c.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libexo_interp-641d56eb12b13c7c.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libexo_interp-641d56eb12b13c7c.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:

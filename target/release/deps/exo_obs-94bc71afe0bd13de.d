@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/exo_obs-94bc71afe0bd13de.d: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libexo_obs-94bc71afe0bd13de.rlib: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+/root/repo/target/release/deps/libexo_obs-94bc71afe0bd13de.rmeta: crates/obs/src/lib.rs crates/obs/src/json.rs crates/obs/src/provenance.rs crates/obs/src/registry.rs crates/obs/src/span.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/json.rs:
+crates/obs/src/provenance.rs:
+crates/obs/src/registry.rs:
+crates/obs/src/span.rs:

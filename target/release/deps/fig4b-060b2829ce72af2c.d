@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b-060b2829ce72af2c.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/release/deps/fig4b-060b2829ce72af2c: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

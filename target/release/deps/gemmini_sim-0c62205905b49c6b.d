@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gemmini_sim-0c62205905b49c6b.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/release/deps/libgemmini_sim-0c62205905b49c6b.rlib: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/release/deps/libgemmini_sim-0c62205905b49c6b.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

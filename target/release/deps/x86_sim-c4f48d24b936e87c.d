@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/x86_sim-c4f48d24b936e87c.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libx86_sim-c4f48d24b936e87c.rlib: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libx86_sim-c4f48d24b936e87c.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

@@ -40,9 +40,18 @@ def blur(n: size, src: f32[n], dst: f32[n]):
     // semantics agree
     let run = |proc: &Proc| {
         let mut m = Machine::new();
-        let s = m.alloc_extern("src", DataType::F32, &[16], &(0..16).map(|i| i as f64).collect::<Vec<_>>());
-        let d = m.alloc_extern("dst", DataType::F32, &[16], &vec![0.0; 16]);
-        m.run(proc, &[ArgVal::Int(16), ArgVal::Tensor(s), ArgVal::Tensor(d)]).unwrap();
+        let s = m.alloc_extern(
+            "src",
+            DataType::F32,
+            &[16],
+            &(0..16).map(|i| i as f64).collect::<Vec<_>>(),
+        );
+        let d = m.alloc_extern("dst", DataType::F32, &[16], &[0.0; 16]);
+        m.run(
+            proc,
+            &[ArgVal::Int(16), ArgVal::Tensor(s), ArgVal::Tensor(d)],
+        )
+        .unwrap();
         m.buffer_values(d).unwrap()
     };
     assert_eq!(run(&blur), run(q.proc()));
@@ -79,7 +88,11 @@ fn avx512_pipeline_profile_consistency() {
     let a = m.alloc_extern_uninit("A", DataType::F32, &[12, 8]);
     let b = m.alloc_extern_uninit("B", DataType::F32, &[8, 128]);
     let c = m.alloc_extern_uninit("C", DataType::F32, &[12, 128]);
-    m.run(p.proc(), &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)]).unwrap();
+    m.run(
+        p.proc(),
+        &[ArgVal::Tensor(a), ArgVal::Tensor(b), ArgVal::Tensor(c)],
+    )
+    .unwrap();
     let dynamic_profile = x86_sim::profile_trace(m.trace());
 
     assert_eq!(static_profile.fmas, dynamic_profile.fmas);
@@ -135,11 +148,64 @@ fn non_addressable_memory_enforced_end_to_end() {
     let a = b.tensor("A", DataType::I8, vec![Expr::int(16)]);
     let s = b.tensor_in("spad", DataType::I8, vec![Expr::int(16)], lib.scratchpad);
     let i = b.begin_for("i", Expr::int(0), Expr::int(16));
-    b.assign(s, vec![Expr::var(i)], exo::core::build::read(a, vec![Expr::var(i)]));
+    b.assign(
+        s,
+        vec![Expr::var(i)],
+        exo::core::build::read(a, vec![Expr::var(i)]),
+    );
     b.end_for();
     let p = b.finish();
     let e = exo::codegen::compile_c(&[p], &lib.codegen_ctx()).unwrap_err();
     assert!(e.message.contains("not addressable"), "{e}");
+}
+
+#[test]
+fn transcript_records_full_gemmini_schedule() {
+    // the provenance transcript of the scheduled GEMM names every rewrite
+    // in application order, every one accepted, with consistent statement
+    // counts along the chain
+    let lib = GemminiLib::new();
+    let st = Arc::new(Mutex::new(SchedState::default()));
+    let p = exo::kernels::gemmini_gemm::schedule_matmul(&lib, &st, 64, 64, 64).unwrap();
+
+    let t = p.transcript();
+    assert!(!t.is_empty(), "schedule produced no provenance events");
+    assert!(
+        t.len() <= p.directives(),
+        "transcript {} vs directives {}",
+        t.len(),
+        p.directives()
+    );
+    let ops: Vec<&str> = t.iter().map(|e| e.op.as_str()).collect();
+    assert!(ops.contains(&"split"), "{ops:?}");
+    assert!(ops.contains(&"replace"), "{ops:?}");
+    for (i, e) in t.iter().enumerate() {
+        assert!(
+            matches!(e.verdict, exo::obs::Verdict::Accepted),
+            "event {i} ({}) not accepted",
+            e.op
+        );
+        if i > 0 {
+            assert_eq!(
+                e.pre_stmts,
+                t[i - 1].post_stmts,
+                "statement count broken between events {} and {i}",
+                i - 1
+            );
+        }
+    }
+
+    // the human rendering lists exactly one numbered line per event
+    let text = p.transcript_text();
+    assert_eq!(text.matches("[stmts ").count(), t.len(), "{text}");
+
+    // the per-event SMT query counts are visible and the chain did issue
+    // solver queries somewhere
+    let total_queries: usize = t.iter().map(|e| e.smt_queries).sum();
+    assert!(
+        total_queries > 0,
+        "no SMT queries recorded in the transcript"
+    );
 }
 
 #[test]

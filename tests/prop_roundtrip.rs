@@ -2,6 +2,8 @@
 //! an alpha-equivalent procedure (the printer emits the surface syntax
 //! the front-end accepts).
 
+#![cfg(feature = "proptest-tests")]
+
 use std::sync::Arc;
 
 use exo::core::visit::alpha_eq_proc;
@@ -74,7 +76,12 @@ fn build_proc(stmts: &[GenStmt]) -> Arc<Proc> {
                 b.end_if();
             }
             GenStmt::Alloc { len } => {
-                let t = b.alloc(&format!("t{idx}"), DataType::F32, vec![Expr::int(*len)], MemName::dram());
+                let t = b.alloc(
+                    &format!("t{idx}"),
+                    DataType::F32,
+                    vec![Expr::int(*len)],
+                    MemName::dram(),
+                );
                 b.assign(t, vec![Expr::int(0)], Expr::float(1.0));
             }
             GenStmt::WindowAndUse { lo } => {

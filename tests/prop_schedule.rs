@@ -5,10 +5,12 @@
 //! be conservative); silently changing semantics is the bug class this
 //! hunts.
 
+#![cfg(feature = "proptest-tests")]
+
 use std::sync::Arc;
 
-use exo::prelude::*;
 use exo::core::build::read;
+use exo::prelude::*;
 use proptest::prelude::*;
 
 /// A tiny random program over two 1-D buffers and one 2-D buffer.
@@ -20,7 +22,13 @@ struct RandProgram {
 #[derive(Clone, Debug)]
 enum RandStmt {
     /// `for i in 0..8: X[f(i)] (=|+=) g(i)` over selected buffers
-    Loop { dst: u8, src: u8, reduce: bool, scale: i64, offset: i64 },
+    Loop {
+        dst: u8,
+        src: u8,
+        reduce: bool,
+        scale: i64,
+        offset: i64,
+    },
     /// 2-D loop nest writing the matrix buffer
     Loop2 { reduce: bool, transpose: bool },
 }
@@ -52,7 +60,13 @@ fn build(p: &RandProgram) -> Arc<Proc> {
     let mat = b.tensor("m", DataType::F32, vec![Expr::int(8), Expr::int(8)]);
     for s in &p.stmts {
         match s {
-            RandStmt::Loop { dst, src, reduce, scale, offset } => {
+            RandStmt::Loop {
+                dst,
+                src,
+                reduce,
+                scale,
+                offset,
+            } => {
                 let i = b.begin_for("i", Expr::int(0), Expr::int(8));
                 // dst[i+offset'] op= src[(i*scale) % 16-safe]
                 let didx = Expr::var(i).add(Expr::int(*offset));
@@ -118,13 +132,25 @@ fn arb_directive() -> impl Strategy<Value = Directive> {
 }
 
 fn apply(p: &Procedure, d: &Directive) -> Option<Procedure> {
-    let loop_pat = |w: u8| if w == 0 { "for i in _: _" } else { "for j in _: _" };
+    let loop_pat = |w: u8| {
+        if w == 0 {
+            "for i in _: _"
+        } else {
+            "for j in _: _"
+        }
+    };
     match d {
         Directive::Split(w, c) => p.split(loop_pat(*w), *c, "so", "si").ok(),
         Directive::SplitGuard(w, c) => p.split_guard(loop_pat(*w), *c, "go", "gi").ok(),
         Directive::Reorder => p.reorder("for i in _: _", "j").ok(),
         Directive::FissionAfterFirst => {
-            for pat in ["x[_] = _", "y[_] = _", "x[_] += _", "y[_] += _", "m[_,_] = _"] {
+            for pat in [
+                "x[_] = _",
+                "y[_] = _",
+                "x[_] += _",
+                "y[_] += _",
+                "m[_,_] = _",
+            ] {
                 if let Ok(q) = p.fission_after(pat) {
                     return Some(q);
                 }
@@ -142,7 +168,11 @@ fn apply(p: &Procedure, d: &Directive) -> Option<Procedure> {
         Directive::PartitionLoop(w, c) => p.partition_loop(loop_pat(*w), *c).ok(),
         Directive::Unroll(w) => p.unroll(loop_pat(*w)).ok(),
         Directive::BindExpr => {
-            for (spat, epat) in [("x[_] = _", "x[_]"), ("y[_] += _", "y[_]"), ("m[_,_] = _", "m[_]")] {
+            for (spat, epat) in [
+                ("x[_] = _", "x[_]"),
+                ("y[_] += _", "y[_]"),
+                ("m[_,_] = _", "m[_]"),
+            ] {
                 if let Ok(q) = p.bind_expr(spat, epat, "bound") {
                     return Some(q);
                 }
@@ -156,12 +186,17 @@ fn apply(p: &Procedure, d: &Directive) -> Option<Procedure> {
 fn run_program(proc: &Proc, seed: u64) -> Result<Vec<f64>, exo::interp::InterpError> {
     let mut m = Machine::new();
     let init = |n: usize, s: u64| -> Vec<f64> {
-        (0..n).map(|i| (((i as u64 * 7 + s * 13) % 11) as f64) - 5.0).collect()
+        (0..n)
+            .map(|i| (((i as u64 * 7 + s * 13) % 11) as f64) - 5.0)
+            .collect()
     };
     let x = m.alloc_extern("x", DataType::F32, &[16], &init(16, seed));
     let y = m.alloc_extern("y", DataType::F32, &[16], &init(16, seed + 1));
     let mat = m.alloc_extern("m", DataType::F32, &[8, 8], &init(64, seed + 2));
-    m.run(proc, &[ArgVal::Tensor(x), ArgVal::Tensor(y), ArgVal::Tensor(mat)])?;
+    m.run(
+        proc,
+        &[ArgVal::Tensor(x), ArgVal::Tensor(y), ArgVal::Tensor(mat)],
+    )?;
     let mut out = m.buffer_values(x)?;
     out.extend(m.buffer_values(y)?);
     out.extend(m.buffer_values(mat)?);

@@ -1,0 +1,146 @@
+//! Offline stand-in for the slice of the `criterion` API this workspace
+//! uses. The CI sandbox has no crates.io access, so this hand-rolled
+//! std-only harness runs each benchmark for a fixed sample count, times
+//! it with `std::time::Instant`, and prints mean wall-clock time per
+//! iteration — no statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group with its own sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    samples: usize,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly (one warm-up draw, then `samples` timed
+    /// iterations) and accumulates the timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn run_bench(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = if b.iters == 0 {
+        Duration::ZERO
+    } else {
+        b.elapsed / b.iters as u32
+    };
+    println!("bench {id:<40} {:>12.3?} /iter ({} iters)", mean, b.iters);
+}
+
+/// Declares a function running the listed benchmarks in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.finish();
+        // one warm-up + three timed samples
+        assert_eq!(runs, 4);
+    }
+}
