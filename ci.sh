@@ -17,6 +17,14 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== cache correctness (EXO_CHECK_CACHE=0 parity) =="
+cargo test -q -p exo-sched --test check_cache
+EXO_CHECK_CACHE=0 cargo test -q -p exo-sched --test check_cache
+
+echo "== check-cache bench (smoke; fails on zero cache hits) =="
+EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
+    cargo run --release -q -p exo-bench --bin check_cache
+
 if [[ "${EXO_CI_FULL:-0}" == "1" ]]; then
     echo "== full: cargo test --workspace -q =="
     cargo test --workspace -q

@@ -4,15 +4,22 @@
 //! every access in-bounds at scheduling time, giving memory safety with
 //! no dynamic checks. Assertion checking verifies that each call site
 //! establishes the callee's preconditions.
+//!
+//! Two entry points: [`check_bounds`] verifies a whole procedure;
+//! [`check_bounds_at`] verifies only the subtree a rewrite dirtied,
+//! replaying the surrounding context (shapes, binders, guards, config
+//! dataflow) without re-proving it.
 
 use std::collections::HashMap;
 use std::fmt;
 
 use exo_core::ir::{ArgType, Block, Expr, Proc, Stmt, WAccess};
+use exo_core::path::StmtPath;
 use exo_core::Sym;
 use exo_smt::formula::Formula;
 use exo_smt::solver::Answer;
 
+use crate::check::SharedCheckCtx;
 use crate::effexpr::{EffExpr, LowerCtx};
 use crate::globals::{lift_in_env, val_g_block, GlobalEnv, GlobalReg};
 
@@ -34,13 +41,17 @@ impl std::error::Error for CheckError {}
 
 struct Checker<'a> {
     reg: &'a mut GlobalReg,
-    solver: &'a mut exo_smt::Solver,
+    check: &'a SharedCheckCtx,
     /// shape (as effect expressions) per data symbol
     shapes: HashMap<Sym, Vec<EffExpr>>,
     /// path condition: binder bounds, guards, preconditions
     assumptions: Vec<EffExpr>,
     genv: GlobalEnv,
     errors: Vec<CheckError>,
+    /// When false, obligations are skipped: the checker only replays
+    /// shape registration and dataflow. Used to absorb the context
+    /// *around* a dirty subtree without re-proving it.
+    verify: bool,
 }
 
 impl<'a> Checker<'a> {
@@ -53,12 +64,15 @@ impl<'a> Checker<'a> {
     }
 
     fn require(&mut self, goal: EffExpr, what: impl Fn() -> String) {
+        if !self.verify {
+            return;
+        }
         exo_obs::counter_add("analysis.bounds.obligations", 1);
         let mut ctx = LowerCtx::new();
         let hyp = self.assume_formula(&mut ctx);
         let g = ctx.lower_bool(&goal).definitely();
         let query = Formula::and(vec![hyp, ctx.assumptions()]).implies(g);
-        match self.solver.check_valid(&query) {
+        match self.check.check_valid(&query) {
             Answer::Yes => {}
             Answer::No => self.errors.push(CheckError { message: what() }),
             Answer::Unknown => self.errors.push(CheckError {
@@ -103,7 +117,14 @@ impl<'a> Checker<'a> {
         }
     }
 
-    fn check_block(&mut self, block: &Block) {
+    fn check_block(&mut self, block: &[Stmt]) {
+        self.check_stmts(block, false);
+    }
+
+    /// Walks `block`; with `retain` the shapes registered by its
+    /// `Alloc`/`WindowDef` statements stay in scope afterwards (used when
+    /// absorbing the prefix of a block around a dirty subtree).
+    fn check_stmts(&mut self, block: &[Stmt], retain: bool) {
         let mut added: Vec<Sym> = Vec::new();
         for s in block {
             match s {
@@ -168,8 +189,10 @@ impl<'a> Checker<'a> {
                 Stmt::Call { proc, args } => self.check_call(proc, args),
             }
         }
-        for s in added {
-            self.shapes.remove(&s);
+        if !retain {
+            for s in added {
+                self.shapes.remove(&s);
+            }
         }
     }
 
@@ -278,18 +301,9 @@ fn loop_open_env(entry: GlobalEnv, body: &Block, iter: Sym, reg: &mut GlobalReg)
     out
 }
 
-/// Statically checks every buffer access, window, allocation extent, and
-/// call-site precondition in `proc`.
-///
-/// # Errors
-///
-/// Returns all violations found (including solver give-ups, which fail
-/// safe).
-pub fn check_bounds(
-    proc: &Proc,
-    reg: &mut GlobalReg,
-    solver: &mut exo_smt::Solver,
-) -> Result<(), Vec<CheckError>> {
+/// Seeds the checker state every entry point shares: argument shapes,
+/// size positivity, and the procedure's preconditions.
+fn seed(proc: &Proc, reg: &mut GlobalReg) -> (HashMap<Sym, Vec<EffExpr>>, Vec<EffExpr>) {
     let mut shapes = HashMap::new();
     let mut assumptions = Vec::new();
     for arg in &proc.args {
@@ -313,13 +327,30 @@ pub fn check_bounds(
     for p in &proc.preds {
         assumptions.push(lift_in_env(p, &GlobalEnv::identity(), reg));
     }
+    (shapes, assumptions)
+}
+
+/// Statically checks every buffer access, window, allocation extent, and
+/// call-site precondition in `proc`.
+///
+/// # Errors
+///
+/// Returns all violations found (including solver give-ups, which fail
+/// safe).
+pub fn check_bounds(
+    proc: &Proc,
+    reg: &mut GlobalReg,
+    check: &SharedCheckCtx,
+) -> Result<(), Vec<CheckError>> {
+    let (shapes, assumptions) = seed(proc, reg);
     let mut checker = Checker {
         reg,
-        solver,
+        check,
         shapes,
         assumptions,
         genv: GlobalEnv::identity(),
         errors: Vec::new(),
+        verify: true,
     };
     let mut span = exo_obs::Span::enter("analysis.check_bounds")
         .with_field("proc", exo_obs::Json::Str(proc.name.to_string()));
@@ -332,6 +363,101 @@ pub fn check_bounds(
     }
 }
 
+/// Statically checks only the subtree rooted at `scope`, replaying the
+/// surrounding context without re-proving it.
+///
+/// A scheduling rewrite that modified exactly the statement at `scope`
+/// cannot have invalidated obligations elsewhere, so the checker walks
+/// down the path with verification off — registering allocation and
+/// window shapes of preceding siblings, collecting binder bounds and
+/// guard conditions, and advancing the configuration dataflow — and turns
+/// verification on only for the dirty subtree. An empty or stale path
+/// falls back to the whole-procedure [`check_bounds`].
+///
+/// # Errors
+///
+/// Returns all violations found *within the scope* (including solver
+/// give-ups, which fail safe). Pre-existing violations outside the scope
+/// are not re-reported.
+pub fn check_bounds_at(
+    proc: &Proc,
+    scope: &StmtPath,
+    reg: &mut GlobalReg,
+    check: &SharedCheckCtx,
+) -> Result<(), Vec<CheckError>> {
+    if scope.is_empty() {
+        return check_bounds(proc, reg, check);
+    }
+    let descent = check_scoped(proc, scope, reg, check);
+    match descent {
+        Some(errors) if errors.is_empty() => Ok(()),
+        Some(errors) => Err(errors),
+        // stale path (rewrite moved the scope out from under us): be
+        // conservative and recheck everything
+        None => check_bounds(proc, reg, check),
+    }
+}
+
+/// The descent behind [`check_bounds_at`]; `None` means the path does not
+/// address a statement in `proc`.
+fn check_scoped(
+    proc: &Proc,
+    scope: &StmtPath,
+    reg: &mut GlobalReg,
+    check: &SharedCheckCtx,
+) -> Option<Vec<CheckError>> {
+    let (shapes, assumptions) = seed(proc, reg);
+    let mut checker = Checker {
+        reg,
+        check,
+        shapes,
+        assumptions,
+        genv: GlobalEnv::identity(),
+        errors: Vec::new(),
+        verify: false,
+    };
+    let mut span = exo_obs::Span::enter("analysis.check_bounds_at")
+        .with_field("proc", exo_obs::Json::Str(proc.name.to_string()))
+        .with_field("scope", exo_obs::Json::Str(scope.to_string()));
+    exo_obs::counter_add("analysis.bounds.scoped_passes", 1);
+    let steps = &scope.0;
+    let mut block: &[Stmt] = &proc.body;
+    for (depth, step) in steps.iter().enumerate() {
+        // absorb preceding siblings: shapes and dataflow, no obligations
+        checker.check_stmts(&block[..step.idx.min(block.len())], true);
+        let stmt = block.get(step.idx)?;
+        if depth + 1 == steps.len() {
+            checker.verify = true;
+            checker.check_block(std::slice::from_ref(stmt));
+            span.field("errors", exo_obs::Json::uint(checker.errors.len() as u64));
+            return Some(checker.errors);
+        }
+        match (stmt, steps[depth + 1].block) {
+            (Stmt::For { iter, lo, hi, body }, 0) => {
+                let lo_e = checker.lift(lo);
+                let hi_e = checker.lift(hi);
+                checker
+                    .assumptions
+                    .push(crate::conditions::bd(*iter, &lo_e, &hi_e));
+                checker.genv = loop_open_env(checker.genv.clone(), body, *iter, checker.reg);
+                block = body;
+            }
+            (Stmt::If { cond, body, .. }, 0) => {
+                let c = checker.lift(cond);
+                checker.assumptions.push(c);
+                block = body;
+            }
+            (Stmt::If { cond, orelse, .. }, 1) => {
+                let c = checker.lift(cond);
+                checker.assumptions.push(EffExpr::Not(Box::new(c)));
+                block = orelse;
+            }
+            _ => return None,
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,8 +466,7 @@ mod tests {
 
     fn run(p: &Proc) -> Result<(), Vec<CheckError>> {
         let mut reg = GlobalReg::new();
-        let mut solver = exo_smt::Solver::new();
-        check_bounds(p, &mut reg, &mut solver)
+        check_bounds(p, &mut reg, &SharedCheckCtx::process())
     }
 
     #[test]
@@ -492,5 +617,80 @@ mod tests {
         b.assign(c, vec![Expr::int(0)], read(a, vec![Expr::int(9)]));
         let errs = run(&b.finish()).unwrap_err();
         assert!(errs[0].message.contains("read"), "{:?}", errs);
+    }
+
+    /// Two sibling loops, the second out of bounds: the scoped check sees
+    /// only what its path addresses.
+    fn two_loop_proc() -> std::sync::Arc<Proc> {
+        let mut b = ProcBuilder::new("p");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::var(n));
+        b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_for();
+        let j = b.begin_for("j", Expr::int(0), Expr::var(n));
+        b.assign(a, vec![Expr::var(j).add(Expr::int(1))], Expr::float(0.0));
+        b.end_for();
+        b.finish()
+    }
+
+    #[test]
+    fn scoped_check_sees_only_its_subtree() {
+        let p = two_loop_proc();
+        let mut reg = GlobalReg::new();
+        let check = SharedCheckCtx::process();
+        assert!(check_bounds(&p, &mut reg, &check).is_err());
+        assert!(check_bounds_at(&p, &StmtPath::top(0), &mut reg, &check).is_ok());
+        assert!(check_bounds_at(&p, &StmtPath::top(1), &mut reg, &check).is_err());
+    }
+
+    #[test]
+    fn scoped_check_uses_enclosing_binders_and_guards() {
+        // for i in 0..n+1: if i < n: A[i] = 0 — the store is only safe
+        // given both the binder bound and the guard, which the scoped
+        // check must replay on its way down.
+        let mut b = ProcBuilder::new("p");
+        let n = b.size("n");
+        let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+        let i = b.begin_for("i", Expr::int(0), Expr::var(n).add(Expr::int(1)));
+        b.begin_if(Expr::var(i).lt(Expr::var(n)));
+        b.assign(a, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_if();
+        b.end_for();
+        let p = b.finish();
+        let mut reg = GlobalReg::new();
+        let check = SharedCheckCtx::process();
+        let store = StmtPath::top(0).child(0, 0).child(0, 0);
+        assert!(check_bounds_at(&p, &store, &mut reg, &check).is_ok());
+    }
+
+    #[test]
+    fn scoped_check_registers_preceding_sibling_shapes() {
+        // tmp is allocated by an earlier sibling; the scoped check of the
+        // second loop must know tmp's shape to verify (and reject) it.
+        let mut b = ProcBuilder::new("p");
+        let tmp = b.alloc(
+            "tmp",
+            DataType::F32,
+            vec![Expr::int(4)],
+            exo_core::types::MemName::dram(),
+        );
+        let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+        b.assign(tmp, vec![Expr::var(i)], Expr::float(0.0));
+        b.end_for();
+        let p = b.finish();
+        let mut reg = GlobalReg::new();
+        let check = SharedCheckCtx::process();
+        let errs = check_bounds_at(&p, &StmtPath::top(1), &mut reg, &check).unwrap_err();
+        assert!(errs[0].message.contains("out of bounds"), "{:?}", errs);
+    }
+
+    #[test]
+    fn stale_scope_falls_back_to_full_check() {
+        let p = two_loop_proc();
+        let mut reg = GlobalReg::new();
+        let check = SharedCheckCtx::process();
+        // path points past the end of the body: full (failing) recheck
+        assert!(check_bounds_at(&p, &StmtPath::top(7), &mut reg, &check).is_err());
     }
 }

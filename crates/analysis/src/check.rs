@@ -1,0 +1,352 @@
+//! The shared checking context: one reusable solver plus a canonical
+//! verdict cache.
+//!
+//! Every scheduling operator is independently checked (paper §3.3), and a
+//! long schedule re-derives near-identical safety obligations after every
+//! rewrite — identical except that rewrites mint fresh [`exo_core::sym::Sym`]s,
+//! so the structurally-keyed cache inside [`exo_smt::Solver`] never sees a
+//! repeat. [`CheckCtx`] closes that gap:
+//!
+//! * all validity/satisfiability queries funnel through one process-wide
+//!   solver instead of per-call-site `Solver::new()` throwaways;
+//! * each query is first alpha-normalized by [`exo_smt::canonicalize`]
+//!   and memoized keyed by the *canonical formula* (full structural
+//!   equality, not a hash, so collisions cannot corrupt verdicts);
+//! * hit/miss/entry counters are exported through `exo-obs`
+//!   (`check.queries`, `check.cache_hits`, `check.cache_misses`,
+//!   `check.cache_entries`).
+//!
+//! The canonical layer can be disabled with `EXO_CHECK_CACHE=0` (or
+//! explicitly via [`CheckCtx::with_cache`]); verdicts are identical either
+//! way because canonical renaming is semantics-preserving — the escape
+//! hatch exists for debugging and for measuring the cache's effect.
+//!
+//! The context also owns the per-statement effect-summary memo
+//! ([`EffectMemo`]) used by the dirty-region analysis in `exo-sched`.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+use exo_smt::canon::canonicalize;
+use exo_smt::formula::Formula;
+use exo_smt::solver::{Answer, Solver, SolverStats};
+
+use crate::effects::Effect;
+use crate::globals::GlobalEnv;
+
+/// Counters describing checking-context activity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CheckStats {
+    /// Queries answered through the context (including cache hits).
+    pub queries: usize,
+    /// Queries answered from the canonical verdict cache.
+    pub hits: usize,
+    /// Queries that fell through to the solver.
+    pub misses: usize,
+    /// Entries currently in the canonical verdict cache.
+    pub entries: usize,
+    /// Per-statement effect summaries served from the memo.
+    pub effect_hits: usize,
+    /// Per-statement effect summaries derived fresh.
+    pub effect_misses: usize,
+}
+
+/// Memo of per-statement effect summaries, keyed by a fingerprint of the
+/// statement plus everything extraction depends on (window views, entry
+/// dataflow environment). Each entry also records the dataflow
+/// environment *after* the statement, so a hit advances extraction state
+/// exactly as a fresh derivation would. Owned by [`CheckCtx`]; consulted
+/// by `context::effect_of_stmts_cached`.
+#[derive(Debug, Default)]
+pub struct EffectMemo {
+    map: HashMap<String, (Effect, GlobalEnv)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl EffectMemo {
+    /// Looks up a summary, counting the hit.
+    pub fn get(&mut self, key: &str) -> Option<(Effect, GlobalEnv)> {
+        match self.map.get(key) {
+            Some(e) => {
+                self.hits += 1;
+                exo_obs::counter_add("analysis.effect_memo.hits", 1);
+                Some(e.clone())
+            }
+            None => {
+                self.misses += 1;
+                exo_obs::counter_add("analysis.effect_memo.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly derived summary and its exit dataflow env.
+    pub fn insert(&mut self, key: String, eff: Effect, genv_after: GlobalEnv) {
+        self.map.insert(key, (eff, genv_after));
+    }
+
+    /// Number of memoized summaries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memo is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Reads the `EXO_CHECK_CACHE` escape hatch: anything but `0` (or the
+/// empty string) leaves the canonical cache enabled.
+fn cache_enabled_from_env() -> bool {
+    match std::env::var("EXO_CHECK_CACHE") {
+        Ok(v) => v != "0",
+        Err(_) => true,
+    }
+}
+
+/// A checking context: one solver, one canonical verdict cache, one
+/// effect-summary memo. Usually accessed through [`SharedCheckCtx`].
+#[derive(Debug)]
+pub struct CheckCtx {
+    solver: Solver,
+    cache: HashMap<Formula, Answer>,
+    enabled: bool,
+    queries: usize,
+    hits: usize,
+    misses: usize,
+    /// Per-statement effect summaries (dirty-region analysis support).
+    pub effects: EffectMemo,
+}
+
+impl CheckCtx {
+    /// Creates a context honouring the `EXO_CHECK_CACHE` environment
+    /// variable.
+    pub fn new() -> CheckCtx {
+        CheckCtx::with_cache(cache_enabled_from_env())
+    }
+
+    /// Creates a context with the canonical cache explicitly on or off.
+    pub fn with_cache(enabled: bool) -> CheckCtx {
+        CheckCtx {
+            solver: Solver::new(),
+            cache: HashMap::new(),
+            enabled,
+            queries: 0,
+            hits: 0,
+            misses: 0,
+            effects: EffectMemo::default(),
+        }
+    }
+
+    /// Whether the canonical verdict cache is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Activity counters for this context.
+    pub fn stats(&self) -> CheckStats {
+        CheckStats {
+            queries: self.queries,
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.cache.len(),
+            effect_hits: self.effects.hits,
+            effect_misses: self.effects.misses,
+        }
+    }
+
+    /// Counters of the underlying solver.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
+    }
+
+    /// Checks satisfiability of `f` (free variables existential).
+    ///
+    /// With the cache enabled the query is alpha-normalized first and the
+    /// verdict memoized keyed by the canonical formula, so any
+    /// alpha-variant asked later — including the same obligation
+    /// re-derived over fresh syms after a rewrite — is a hit.
+    pub fn check_sat(&mut self, f: &Formula) -> Answer {
+        self.queries += 1;
+        exo_obs::counter_add("check.queries", 1);
+        if !self.enabled {
+            return self.solver.check_sat(f);
+        }
+        let key = canonicalize(f);
+        if let Some(&a) = self.cache.get(&key) {
+            self.hits += 1;
+            exo_obs::counter_add("check.cache_hits", 1);
+            return a;
+        }
+        // Decide on the canonical form: semantics-preserving, and it makes
+        // the solver's own structural cache converge on one representative
+        // per alpha-class.
+        let a = self.solver.check_sat(&key);
+        self.misses += 1;
+        exo_obs::counter_add("check.cache_misses", 1);
+        exo_obs::counter_add("check.cache_entries", 1);
+        self.cache.insert(key, a);
+        a
+    }
+
+    /// Checks validity of `f` (free variables universal):
+    /// `valid(f) ⇔ ¬sat(¬f)`. Shares cache entries with [`Self::check_sat`].
+    pub fn check_valid(&mut self, f: &Formula) -> Answer {
+        match self.check_sat(&f.clone().negate()) {
+            Answer::Yes => Answer::No,
+            Answer::No => Answer::Yes,
+            Answer::Unknown => Answer::Unknown,
+        }
+    }
+
+    /// Checks validity of `hyp ⇒ goal`.
+    pub fn check_entails(&mut self, hyp: &Formula, goal: &Formula) -> Answer {
+        self.check_valid(&hyp.clone().implies(goal.clone()))
+    }
+}
+
+impl Default for CheckCtx {
+    fn default() -> CheckCtx {
+        CheckCtx::new()
+    }
+}
+
+/// A cloneable handle to a [`CheckCtx`] behind a mutex.
+///
+/// This is what `SchedState` and the analyses carry. Query methods lock
+/// internally; code that needs several operations under one lock (e.g.
+/// the effect memo) uses [`SharedCheckCtx::lock`]. Lock ordering across
+/// the workspace is `SchedState → CheckCtx`.
+#[derive(Clone, Debug)]
+pub struct SharedCheckCtx(Arc<Mutex<CheckCtx>>);
+
+impl SharedCheckCtx {
+    /// A fresh, private context (cache per `EXO_CHECK_CACHE`).
+    pub fn fresh() -> SharedCheckCtx {
+        SharedCheckCtx(Arc::new(Mutex::new(CheckCtx::new())))
+    }
+
+    /// A fresh, private context with the cache explicitly on or off.
+    pub fn with_cache(enabled: bool) -> SharedCheckCtx {
+        SharedCheckCtx(Arc::new(Mutex::new(CheckCtx::with_cache(enabled))))
+    }
+
+    /// The process-wide shared context. All `SchedState::default()`
+    /// instances alias this one, so obligations cache across every
+    /// schedule built in the process.
+    pub fn process() -> SharedCheckCtx {
+        static PROCESS: OnceLock<SharedCheckCtx> = OnceLock::new();
+        PROCESS.get_or_init(SharedCheckCtx::fresh).clone()
+    }
+
+    /// Locks the context. Poisoning is ignored: the cache only ever holds
+    /// sound verdicts, so a panic elsewhere cannot corrupt it.
+    pub fn lock(&self) -> MutexGuard<'_, CheckCtx> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// See [`CheckCtx::check_sat`].
+    pub fn check_sat(&self, f: &Formula) -> Answer {
+        self.lock().check_sat(f)
+    }
+
+    /// See [`CheckCtx::check_valid`].
+    pub fn check_valid(&self, f: &Formula) -> Answer {
+        self.lock().check_valid(f)
+    }
+
+    /// See [`CheckCtx::check_entails`].
+    pub fn check_entails(&self, hyp: &Formula, goal: &Formula) -> Answer {
+        self.lock().check_entails(hyp, goal)
+    }
+
+    /// See [`CheckCtx::stats`].
+    pub fn stats(&self) -> CheckStats {
+        self.lock().stats()
+    }
+
+    /// See [`CheckCtx::solver_stats`].
+    pub fn solver_stats(&self) -> SolverStats {
+        self.lock().solver_stats()
+    }
+
+    /// See [`CheckCtx::cache_enabled`].
+    pub fn cache_enabled(&self) -> bool {
+        self.lock().cache_enabled()
+    }
+}
+
+impl Default for SharedCheckCtx {
+    /// The default handle aliases the process-wide context.
+    fn default() -> SharedCheckCtx {
+        SharedCheckCtx::process()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exo_core::sym::Sym;
+    use exo_smt::linear::LinExpr;
+
+    fn valid_shape(c: i64) -> Formula {
+        // x ≤ x + c is valid for c ≥ 0; fresh syms each call
+        let x = Sym::new("x");
+        Formula::le(LinExpr::var(x), LinExpr::var(x).offset(c))
+    }
+
+    #[test]
+    fn alpha_variants_hit_the_cache() {
+        let mut ctx = CheckCtx::with_cache(true);
+        assert_eq!(ctx.check_valid(&valid_shape(1)), Answer::Yes);
+        assert_eq!(ctx.check_valid(&valid_shape(1)), Answer::Yes); // fresh sym, same shape
+        let st = ctx.stats();
+        assert_eq!(st.queries, 2);
+        assert_eq!(st.hits, 1);
+        assert_eq!(st.misses, 1);
+        assert_eq!(st.entries, 1);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits_but_agrees() {
+        let mut on = CheckCtx::with_cache(true);
+        let mut off = CheckCtx::with_cache(false);
+        for c in [0, 1, -1, 3, -1, 1] {
+            assert_eq!(
+                on.check_valid(&valid_shape(c)),
+                off.check_valid(&valid_shape(c))
+            );
+        }
+        assert_eq!(off.stats().hits, 0);
+        assert!(on.stats().hits > 0);
+    }
+
+    #[test]
+    fn distinct_constants_get_distinct_entries() {
+        let mut ctx = CheckCtx::with_cache(true);
+        assert_eq!(ctx.check_valid(&valid_shape(1)), Answer::Yes);
+        assert_eq!(ctx.check_valid(&valid_shape(-1)), Answer::No);
+        assert_eq!(ctx.stats().entries, 2);
+        assert_eq!(ctx.stats().hits, 0);
+    }
+
+    #[test]
+    fn shared_handles_alias_one_context() {
+        let a = SharedCheckCtx::with_cache(true);
+        let b = a.clone();
+        let before = a.stats().queries;
+        let _ = b.check_valid(&valid_shape(2));
+        assert_eq!(a.stats().queries, before + 1);
+    }
+
+    #[test]
+    fn process_context_is_a_singleton() {
+        let a = SharedCheckCtx::process();
+        let b = SharedCheckCtx::default();
+        let before = b.stats().queries;
+        let _ = a.check_valid(&valid_shape(4));
+        assert!(b.stats().queries > before);
+    }
+}

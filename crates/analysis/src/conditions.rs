@@ -208,10 +208,11 @@ pub fn loop_remove(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exo_smt::solver::{Answer, Solver};
+    use crate::check::SharedCheckCtx;
+    use exo_smt::solver::Answer;
 
     fn check(ctx: &LowerCtx, goal: &Formula) -> Answer {
-        let mut s = Solver::new();
+        let s = SharedCheckCtx::process();
         s.check_valid(&ctx.assumptions().implies(goal.clone()))
     }
 
@@ -297,7 +298,7 @@ mod tests {
             exo_smt::linear::LinExpr::var(jo),
         )
         .negate();
-        let mut s = Solver::new();
+        let s = SharedCheckCtx::process();
         let goal = Formula::and(vec![hyp, ctx.assumptions()]).implies(f);
         assert_eq!(s.check_valid(&goal), Answer::Yes);
     }

@@ -517,7 +517,8 @@ impl LowerCtx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exo_smt::solver::{Answer, Solver};
+    use crate::check::SharedCheckCtx;
+    use exo_smt::solver::Answer;
 
     #[test]
     fn lift_translates_control_exprs() {
@@ -548,7 +549,7 @@ mod tests {
         ));
         let mut ctx = LowerCtx::new();
         let lb = ctx.lower_bool(&e);
-        let mut solver = Solver::new();
+        let solver = SharedCheckCtx::process();
         let goal = ctx.assumptions().implies(lb.definitely());
         assert_eq!(solver.check_valid(&goal), Answer::Yes);
     }
@@ -558,7 +559,7 @@ mod tests {
         let mut ctx = LowerCtx::new();
         let e = EffExpr::Unknown.le(EffExpr::Int(100));
         let lb = ctx.lower_bool(&e);
-        let mut solver = Solver::new();
+        let solver = SharedCheckCtx::process();
         // D(⊥ ≤ 100) is not valid …
         assert_eq!(solver.check_valid(&lb.definitely()), Answer::No);
         // … but M(⊥ ≤ 100) is
@@ -571,7 +572,7 @@ mod tests {
         let mut ctx = LowerCtx::new();
         let e = EffExpr::Bool(false).and(EffExpr::Unknown);
         let lb = ctx.lower_bool(&e);
-        let mut solver = Solver::new();
+        let solver = SharedCheckCtx::process();
         assert_eq!(solver.check_valid(&lb.maybe().negate()), Answer::Yes);
     }
 

@@ -19,12 +19,17 @@
 //! * [`context`] — one-holed-context quantities `CtrlPred` / `PreValG` /
 //!   `PostEff` and the context-extension rule (§6);
 //! * [`bounds`] — static bounds checking and call-site assertion
-//!   checking.
+//!   checking, whole-procedure ([`check_bounds`]) or scoped to the
+//!   subtree a rewrite dirtied ([`check_bounds_at`]);
+//! * [`check`] — the shared checking context: one reusable solver plus a
+//!   canonical (alpha-normalized) verdict cache and the per-statement
+//!   effect-summary memo.
 //!
-//! All conditions bottom out in Presburger validity queries discharged by
-//! [`exo_smt::Solver`]; an `Unknown` answer always fails safe.
+//! All conditions bottom out in Presburger validity queries discharged
+//! through [`SharedCheckCtx`]; an `Unknown` answer always fails safe.
 
 pub mod bounds;
+pub mod check;
 pub mod conditions;
 pub mod context;
 pub mod effects;
@@ -32,7 +37,8 @@ pub mod effexpr;
 pub mod globals;
 pub mod locset;
 
-pub use bounds::{check_bounds, CheckError};
+pub use bounds::{check_bounds, check_bounds_at, CheckError};
+pub use check::{CheckCtx, CheckStats, EffectMemo, SharedCheckCtx};
 pub use effects::{effect_of_block, effect_of_proc, Effect, ExtractCtx};
 pub use effexpr::{EffExpr, LowerCtx};
 pub use globals::{GlobalEnv, GlobalReg};

@@ -404,10 +404,11 @@ fn seq_bundles(a1: SetBundle, a2: SetBundle) -> SetBundle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exo_smt::solver::{Answer, Solver};
+    use crate::check::SharedCheckCtx;
+    use exo_smt::solver::Answer;
 
     fn solve_valid(ctx: &LowerCtx, goal: Formula) -> Answer {
-        let mut s = Solver::new();
+        let s = SharedCheckCtx::process();
         s.check_valid(&ctx.assumptions().implies(goal))
     }
 
@@ -426,7 +427,7 @@ mod tests {
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
         // membership holds exactly when c == 3
-        let mut s = Solver::new();
+        let s = SharedCheckCtx::process();
         let is_three = Formula::eq(LinExpr::var(c), LinExpr::constant(3));
         assert_eq!(s.check_valid(&m.definitely().iff(is_three)), Answer::Yes);
     }
@@ -476,7 +477,7 @@ mod tests {
         };
         let mut ctx = LowerCtx::new();
         let m = member(&set, &tgt, &mut ctx);
-        let mut s = Solver::new();
+        let s = SharedCheckCtx::process();
         // c = 6 is in
         let at6 = m.definitely().subst(c, &LinExpr::constant(6));
         assert_eq!(s.check_valid(&ctx.assumptions().implies(at6)), Answer::Yes);

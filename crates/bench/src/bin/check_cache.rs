@@ -1,0 +1,135 @@
+//! Measures the canonical-formula verdict cache on the Fig. 5a AVX-512
+//! SGEMM schedule chain: the same chain is scheduled with the cache
+//! cold, warm (same context, second run), and disabled, and the wall
+//! time plus query/hit counters of each phase are written to
+//! `BENCH_check_cache.json`.
+//!
+//! `EXO_BENCH_SMOKE=1` shrinks the problem size for CI. The binary
+//! exits nonzero if a cached run reports zero hits — the regression
+//! guard for the cache plumbing.
+
+use std::time::Instant;
+
+use exo_bench::{isolated_state, write_bench_json};
+use exo_hwlibs::Avx512Lib;
+use exo_kernels::x86_gemm::schedule_sgemm;
+use exo_obs::Json;
+use exo_sched::StateRef;
+
+struct Phase {
+    name: &'static str,
+    wall_us: u64,
+    queries: usize,
+    hits: usize,
+    misses: usize,
+    effect_hits: usize,
+}
+
+fn run_chain(
+    lib: &Avx512Lib,
+    state: &StateRef,
+    name: &'static str,
+    dims: (i64, i64, i64),
+) -> Phase {
+    let (m, n, k) = dims;
+    let before = state
+        .lock()
+        .expect("scheduler state poisoned")
+        .check
+        .stats();
+    let start = Instant::now();
+    schedule_sgemm(lib, state, m, n, k, 6, 64)
+        .unwrap_or_else(|e| panic!("schedule_sgemm({m},{n},{k}): {e}"));
+    let wall_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let after = state
+        .lock()
+        .expect("scheduler state poisoned")
+        .check
+        .stats();
+    Phase {
+        name,
+        wall_us,
+        queries: after.queries - before.queries,
+        hits: after.hits - before.hits,
+        misses: after.misses - before.misses,
+        effect_hits: after.effect_hits - before.effect_hits,
+    }
+}
+
+fn ratio(p: &Phase) -> f64 {
+    if p.queries == 0 {
+        0.0
+    } else {
+        p.hits as f64 / p.queries as f64
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("EXO_BENCH_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let dims = if smoke { (12, 128, 8) } else { (48, 128, 64) };
+    let lib = Avx512Lib::new();
+
+    // cold + warm share one private cache-enabled context; nocache gets
+    // its own cache-disabled context.
+    let cached = isolated_state(true);
+    let cold = run_chain(&lib, &cached, "cold", dims);
+    let warm = run_chain(&lib, &cached, "warm", dims);
+    let nocache_state = isolated_state(false);
+    let nocache = run_chain(&lib, &nocache_state, "nocache", dims);
+
+    println!(
+        "== check-cache — Fig. 5a SGEMM chain {}x{}x{} (6x64 microkernel) ==",
+        dims.0, dims.1, dims.2
+    );
+    println!(
+        "{:<9} {:>9} {:>8} {:>8} {:>8} {:>7} {:>11}",
+        "phase", "wall_us", "queries", "hits", "misses", "ratio", "effect_hits"
+    );
+    let mut records = Vec::new();
+    for p in [&cold, &warm, &nocache] {
+        println!(
+            "{:<9} {:>9} {:>8} {:>8} {:>8} {:>6.0}% {:>11}",
+            p.name,
+            p.wall_us,
+            p.queries,
+            p.hits,
+            p.misses,
+            ratio(p) * 100.0,
+            p.effect_hits
+        );
+        records.push(Json::obj(vec![
+            ("type".into(), Json::Str("check_cache_phase".into())),
+            ("phase".into(), Json::Str(p.name.into())),
+            ("wall_us".into(), Json::uint(p.wall_us)),
+            ("queries".into(), Json::uint(p.queries as u64)),
+            ("hits".into(), Json::uint(p.hits as u64)),
+            ("misses".into(), Json::uint(p.misses as u64)),
+            ("hit_ratio".into(), Json::Float(ratio(p))),
+            ("effect_hits".into(), Json::uint(p.effect_hits as u64)),
+        ]));
+    }
+    let combined = (cold.hits + warm.hits) as f64 / (cold.queries + warm.queries).max(1) as f64;
+    println!(
+        "combined cached hit ratio {:.0}% | warm vs cold wall {:.2}x | cached vs nocache wall {:.2}x",
+        combined * 100.0,
+        cold.wall_us as f64 / warm.wall_us.max(1) as f64,
+        nocache.wall_us as f64 / cold.wall_us.max(1) as f64
+    );
+    records.push(Json::obj(vec![
+        ("type".into(), Json::Str("check_cache_summary".into())),
+        ("combined_hit_ratio".into(), Json::Float(combined)),
+        ("m".into(), Json::uint(dims.0 as u64)),
+        ("n".into(), Json::uint(dims.1 as u64)),
+        ("k".into(), Json::uint(dims.2 as u64)),
+    ]));
+    write_bench_json("check_cache", &records).expect("write BENCH_check_cache.json");
+
+    if cold.hits + warm.hits == 0 {
+        eprintln!("FAIL: cached runs reported zero cache hits on the fig5a chain");
+        std::process::exit(1);
+    }
+    if warm.hits == 0 {
+        eprintln!("FAIL: warm rerun reported zero cache hits");
+        std::process::exit(1);
+    }
+}

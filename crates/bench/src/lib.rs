@@ -129,20 +129,32 @@ impl UtilRow {
     }
 }
 
-/// A fresh shared scheduling state.
+/// A fresh shared scheduling state (aliasing the process-wide checking
+/// context, so obligations cache across benchmark phases).
 pub fn fresh_state() -> StateRef {
     Arc::new(Mutex::new(SchedState::default()))
 }
 
-/// JSON summary of the shared solver's activity (queries, answers,
-/// cache behavior, time) — attached to every `BENCH_*.json` export so
+/// A scheduling state with a *private* checking context, canonical cache
+/// explicitly on or off — used by the cache benchmarks, where sharing
+/// the process-wide cache would contaminate the cold phase.
+pub fn isolated_state(cache: bool) -> StateRef {
+    Arc::new(Mutex::new(SchedState::with_check(
+        exo_sched::SharedCheckCtx::with_cache(cache),
+    )))
+}
+
+/// JSON summary of the checking context's activity (canonical-cache and
+/// solver counters) — attached to every `BENCH_*.json` export so
 /// scheduling cost is visible next to the performance numbers.
 pub fn solver_stats_json(state: &StateRef) -> Json {
-    let stats = state
+    let check = state
         .lock()
         .expect("scheduler state poisoned")
-        .solver
-        .stats();
+        .check
+        .clone();
+    let stats = check.solver_stats();
+    let cstats = check.stats();
     Json::obj(vec![
         ("type".into(), Json::Str("smt_stats".into())),
         ("queries".into(), Json::uint(stats.queries as u64)),
@@ -152,6 +164,16 @@ pub fn solver_stats_json(state: &StateRef) -> Json {
         ("gave_up".into(), Json::uint(stats.gave_up as u64)),
         ("qe_nodes".into(), Json::uint(stats.nodes as u64)),
         ("time_us".into(), Json::uint(stats.time_us)),
+        ("check_queries".into(), Json::uint(cstats.queries as u64)),
+        ("check_cache_hits".into(), Json::uint(cstats.hits as u64)),
+        (
+            "check_cache_entries".into(),
+            Json::uint(cstats.entries as u64),
+        ),
+        (
+            "effect_memo_hits".into(),
+            Json::uint(cstats.effect_hits as u64),
+        ),
     ])
 }
 

@@ -15,7 +15,7 @@ use exo_core::types::DataType;
 use exo_core::MemName;
 use exo_hwlibs::GemminiLib;
 use exo_interp::{ArgVal, HwOp, Machine, TensorRef, TraceArg};
-use exo_sched::{Procedure, SchedError, StateRef};
+use exo_sched::{Position, Procedure, SchedError, StateRef};
 
 /// The conv shapes of Fig. 4b: `(output dim, output channels, input
 /// channels)`, batch 4, 3×3 kernel.
@@ -253,8 +253,9 @@ pub fn schedule_conv(
     let c_sym = p.lookup_data_sym("C").expect("C");
     let first_pat = "for b in _: _";
     let p = p
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld.0,
             lib.config_ld.1,
             Expr::Stride {
@@ -262,20 +263,23 @@ pub fn schedule_conv(
                 dim: 2,
             },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld2.0,
             lib.config_ld2.1,
             Expr::Stride { buf: w_sym, dim: 2 },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld_acc.0,
             lib.config_ld_acc.1,
             Expr::Stride { buf: c_sym, dim: 2 },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_st.0,
             lib.config_st.1,
             Expr::Stride { buf: c_sym, dim: 2 },

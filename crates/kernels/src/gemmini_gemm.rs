@@ -19,7 +19,7 @@ use exo_core::types::DataType;
 use exo_core::MemName;
 use exo_hwlibs::GemminiLib;
 use exo_interp::{ArgVal, HwOp, Machine, TensorRef, TraceArg};
-use exo_sched::{Procedure, SchedError, StateRef};
+use exo_sched::{Position, Procedure, SchedError, StateRef};
 
 /// Bytes of scratchpad we allow the resident-B strategy to occupy.
 const B_RESIDENT_LIMIT: i64 = 192 * 1024;
@@ -147,26 +147,30 @@ pub fn schedule_matmul(
         "for io in _: _"
     };
     let p = p
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld.0,
             lib.config_ld.1,
             Expr::Stride { buf: a_sym, dim: 0 },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld2.0,
             lib.config_ld2.1,
             Expr::Stride { buf: b_sym, dim: 0 },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_ld_acc.0,
             lib.config_ld_acc.1,
             Expr::Stride { buf: c_sym, dim: 0 },
         )?
-        .configwrite_before(
+        .configwrite_at(
             first_pat,
+            Position::Before,
             lib.config_st.0,
             lib.config_st.1,
             Expr::Stride { buf: c_sym, dim: 0 },

@@ -15,6 +15,7 @@ use exo_obs::{ProvenanceEvent, Verdict};
 
 use exo_analysis::context::{site_ctx, SiteCtx};
 use exo_analysis::globals::GlobalReg;
+use exo_analysis::SharedCheckCtx;
 use exo_core::ir::Proc;
 use exo_core::path::{replace_at, stmt_at, StmtPath};
 use exo_core::{Block, Stmt, Sym};
@@ -26,42 +27,128 @@ use crate::pattern::Pattern;
 /// An error raised by a scheduling operator. Scheduling errors are
 /// always *safe*: the procedure is unchanged and no unsound rewrite was
 /// performed.
-#[derive(Clone, PartialEq, Eq, Debug)]
+#[derive(Clone, Debug)]
 pub struct SchedError {
     /// Human-readable description.
     pub message: String,
+    /// The scheduling operator that raised the error, once attributed.
+    pub op: Option<String>,
+    /// The pattern argument the operator was applied to, if any.
+    pub pattern: Option<String>,
+    /// The underlying cause (e.g. a [`crate::pattern::PatternError`]).
+    source: Option<Arc<dyn std::error::Error + Send + Sync + 'static>>,
 }
 
 impl SchedError {
     pub(crate) fn new(message: impl Into<String>) -> SchedError {
         SchedError {
             message: message.into(),
+            op: None,
+            pattern: None,
+            source: None,
+        }
+    }
+
+    pub(crate) fn with_source(
+        mut self,
+        source: impl std::error::Error + Send + Sync + 'static,
+    ) -> SchedError {
+        self.source = Some(Arc::new(source));
+        self
+    }
+
+    pub(crate) fn with_pattern(mut self, pattern: &Pattern) -> SchedError {
+        self.pattern = Some(pattern.as_str().to_string());
+        self
+    }
+
+    /// Attributes the error to an operator and its target, keeping any
+    /// attribution already made by a more deeply nested operator.
+    pub(crate) fn in_op(mut self, op: &str, target: &str) -> SchedError {
+        if self.op.is_none() {
+            self.op = Some(op.to_string());
+        }
+        if self.pattern.is_none() && !target.is_empty() {
+            self.pattern = Some(target.to_string());
+        }
+        self
+    }
+}
+
+// `source` is diagnostic payload only; equality is over the description
+// and attribution, so tests can compare errors structurally.
+impl PartialEq for SchedError {
+    fn eq(&self, other: &SchedError) -> bool {
+        self.message == other.message && self.op == other.op && self.pattern == other.pattern
+    }
+}
+
+impl Eq for SchedError {}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.op, &self.pattern) {
+            (Some(op), Some(pat)) => write!(f, "{op}({pat:?}): {}", self.message),
+            (Some(op), None) => write!(f, "{op}: {}", self.message),
+            _ => write!(f, "{}", self.message),
         }
     }
 }
 
-impl fmt::Display for SchedError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.message)
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|s| s as &(dyn std::error::Error + 'static))
     }
 }
-
-impl std::error::Error for SchedError {}
 
 pub(crate) fn serr<T>(message: impl Into<String>) -> Result<T, SchedError> {
     Err(SchedError::new(message))
 }
 
-/// Shared scheduling state: the SMT solver (with its cache), the global
-/// registry, and the provenance store tracking which procedures are
-/// equivalent modulo which configuration fields (§3.3, §6.2).
-#[derive(Debug, Default)]
+/// Shared scheduling state: the checking context (solver + canonical
+/// verdict cache + effect memo), the global registry, and the provenance
+/// store tracking which procedures are equivalent modulo which
+/// configuration fields (§3.3, §6.2).
+///
+/// `SchedState::default()` aliases the process-wide
+/// [`SharedCheckCtx::process`] context, so safety obligations discharged
+/// while scheduling one kernel are cache hits while scheduling the next.
+/// Use [`SchedState::isolated`] for benchmarks or tests that need a
+/// private cache. Lock ordering is `SchedState → CheckCtx`.
+#[derive(Debug)]
 pub struct SchedState {
-    /// The Presburger solver (cached across queries).
-    pub solver: exo_smt::Solver,
+    /// The shared checking context (reusable solver, canonical-formula
+    /// verdict cache, per-statement effect memo).
+    pub check: SharedCheckCtx,
     /// Canonical names for configuration fields.
     pub reg: GlobalReg,
     next_class: usize,
+}
+
+impl SchedState {
+    /// State wired to a specific checking context.
+    pub fn with_check(check: SharedCheckCtx) -> SchedState {
+        SchedState {
+            check,
+            reg: GlobalReg::default(),
+            next_class: 0,
+        }
+    }
+
+    /// State with a private (non-process-wide) checking context, honouring
+    /// `EXO_CHECK_CACHE`. Useful for measuring cache behaviour.
+    pub fn isolated() -> SchedState {
+        SchedState::with_check(SharedCheckCtx::fresh())
+    }
+}
+
+impl Default for SchedState {
+    /// Aliases the process-wide checking context.
+    fn default() -> SchedState {
+        SchedState::with_check(SharedCheckCtx::process())
+    }
 }
 
 /// Shared handle to the scheduling state.
@@ -187,10 +274,17 @@ impl Procedure {
     // internals used by the operator modules
     // ------------------------------------------------------------------
 
-    pub(crate) fn find(&self, pattern: &str) -> Result<StmtPath, SchedError> {
-        let pat = Pattern::parse(pattern).map_err(|e| SchedError::new(e.message))?;
-        pat.find(&self.proc.body)
-            .map_err(|e| SchedError::new(e.message))
+    pub(crate) fn find(&self, pattern: &Pattern) -> Result<StmtPath, SchedError> {
+        let pat = pattern.parsed().map_err(|e| {
+            SchedError::new(e.message.clone())
+                .with_pattern(pattern)
+                .with_source(e)
+        })?;
+        pat.find(&self.proc.body).map_err(|e| {
+            SchedError::new(e.message.clone())
+                .with_pattern(pattern)
+                .with_source(e)
+        })
     }
 
     pub(crate) fn stmt(&self, path: &StmtPath) -> Result<&Stmt, SchedError> {
@@ -267,7 +361,7 @@ impl Procedure {
             .state
             .lock()
             .expect("scheduler state poisoned")
-            .solver
+            .check
             .stats()
             .queries;
         let start = Instant::now();
@@ -277,7 +371,7 @@ impl Procedure {
             .state
             .lock()
             .expect("scheduler state poisoned")
-            .solver
+            .check
             .stats()
             .queries
             .saturating_sub(pre_queries);
@@ -297,6 +391,7 @@ impl Procedure {
                 Ok(derived)
             }
             Err(e) => {
+                let e = e.in_op(op, &target);
                 exo_obs::counter_add("sched.rejected", 1);
                 let rejected = ProvenanceEvent {
                     op: op.to_string(),
@@ -340,9 +435,9 @@ impl Procedure {
         condition: Formula,
         what: &str,
     ) -> Result<(), SchedError> {
-        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let st = self.state.lock().expect("scheduler state poisoned");
         let goal = hyp.implies(condition);
-        match st.solver.check_valid(&goal) {
+        match st.check.check_valid(&goal) {
             Answer::Yes => Ok(()),
             Answer::No => serr(format!("{what}: safety condition refuted")),
             Answer::Unknown => serr(format!("{what}: solver gave up (failing safe)")),
@@ -369,15 +464,15 @@ mod tests {
     #[test]
     fn find_and_stmt() {
         let p = simple();
-        let path = p.find("for i in _: _").unwrap();
+        let path = p.find(&Pattern::from("for i in _: _")).unwrap();
         assert!(matches!(p.stmt(&path).unwrap(), Stmt::For { .. }));
-        assert!(p.find("for z in _: _").is_err());
+        assert!(p.find(&Pattern::from("for z in _: _")).is_err());
     }
 
     #[test]
     fn splice_derives_new_procedure() {
         let p = simple();
-        let path = p.find("A[_] = _").unwrap();
+        let path = p.find(&Pattern::from("A[_] = _")).unwrap();
         let q = p
             .splice(&path, &mut |s| vec![s.clone(), Stmt::Pass])
             .unwrap();
@@ -385,7 +480,7 @@ mod tests {
         assert_eq!(p.directives(), 0);
         assert!(p.same_class(&q));
         // original unchanged
-        let orig_for = p.find("for i in _: _").unwrap();
+        let orig_for = p.find(&Pattern::from("for i in _: _")).unwrap();
         match p.stmt(&orig_for).unwrap() {
             Stmt::For { body, .. } => assert_eq!(body.len(), 1),
             _ => panic!(),

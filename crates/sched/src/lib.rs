@@ -3,15 +3,23 @@
 //! User scheduling via composable rewrites (paper §3.3–3.4, Fig. 2).
 //!
 //! A [`Procedure`] wraps an IR procedure together with shared scheduling
-//! state (the SMT solver and provenance). Every operator —
+//! state (the checking context and provenance). Every operator —
 //! `split`, `reorder`, `unroll`, `inline`, `replace`, `stage_mem`,
-//! `configwrite_after`, … — is an independent rewrite returning a new
+//! `configwrite_at`, … — is an independent rewrite returning a new
 //! `Procedure`; correctness of each is checked in isolation against the
 //! effect analyses of `exo-analysis`, which is what makes the scheduling
 //! language easy to extend.
 //!
+//! Operators locate code with textual [`Pattern`]s and accept
+//! `impl Into<Pattern>`, so plain string literals work:
+//! `p.split("for i in _: _", 4, "io", "ii")`. Safety obligations are
+//! discharged through the state's [`exo_analysis::SharedCheckCtx`] —
+//! by default the process-wide context, so obligations proved while
+//! scheduling one kernel are cache hits on the next (disable with
+//! `EXO_CHECK_CACHE=0`).
+//!
 //! Operators that pollute configuration state (e.g.
-//! [`Procedure::configwrite_after`]) record the polluted fields in the
+//! [`Procedure::configwrite_at`]) record the polluted fields in the
 //! provenance, and the context-extension rule (§6.2) is used to confirm
 //! that the rest of the procedure never observes the difference.
 
@@ -24,5 +32,7 @@ pub mod ops_loops;
 pub mod pattern;
 pub mod unify;
 
+pub use exo_analysis::SharedCheckCtx;
 pub use handle::{Procedure, SchedError, SchedState, StateRef};
-pub use pattern::Pattern;
+pub use ops_config::Position;
+pub use pattern::{ParsedPattern, Pattern, PatternError, StmtPattern};

@@ -9,16 +9,18 @@ use exo_core::visit::{refresh_bound, rename_syms_block, subst_block};
 use exo_core::Sym;
 
 use crate::handle::{serr, Procedure, SchedError};
+use crate::pattern::Pattern;
 
 impl Procedure {
     /// `inline(f(_))`: replaces a call with the callee's body, with
     /// actuals substituted for formals (always equivalence-preserving;
     /// the callee's preconditions were checked at the call site).
-    pub fn inline(&self, call_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("inline", call_pat, || self.inline_impl(call_pat))
+    pub fn inline(&self, call_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let call_pat = call_pat.into();
+        self.instrumented("inline", call_pat.as_str(), || self.inline_impl(&call_pat))
     }
 
-    fn inline_impl(&self, call_pat: &str) -> Result<Procedure, SchedError> {
+    fn inline_impl(&self, call_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path = self.find(call_pat)?;
         let Stmt::Call { proc: callee, args } = self.stmt(&path)?.clone() else {
             return serr(format!("inline: {call_pat:?} is not a call"));
@@ -81,19 +83,20 @@ impl Procedure {
     /// recorded.
     pub fn call_eqv(
         &self,
-        call_pat: &str,
+        call_pat: impl Into<Pattern>,
         new_callee: &Procedure,
     ) -> Result<Procedure, SchedError> {
+        let call_pat = call_pat.into();
         self.instrumented(
             "call_eqv",
             format!("{call_pat}, {}", new_callee.proc().name.name()),
-            || self.call_eqv_impl(call_pat, new_callee),
+            || self.call_eqv_impl(&call_pat, new_callee),
         )
     }
 
     fn call_eqv_impl(
         &self,
-        call_pat: &str,
+        call_pat: &Pattern,
         new_callee: &Procedure,
     ) -> Result<Procedure, SchedError> {
         let path = self.find(call_pat)?;
@@ -129,7 +132,7 @@ impl Procedure {
                     &path,
                     &polluted,
                     &mut st.reg,
-                    &mut st.solver,
+                    &st.check,
                 )
             };
             if !ok {

@@ -16,50 +16,89 @@ use exo_core::visit::{visit_expr, visit_stmts};
 use exo_core::Sym;
 
 use exo_analysis::conditions;
-use exo_analysis::context::{context_extension_ok, effect_of_stmts_at};
+use exo_analysis::context::{context_extension_ok, effect_of_stmts_cached};
 use exo_analysis::effexpr::LowerCtx;
 use exo_analysis::globals::lift_in_env;
 use exo_smt::formula::Formula;
 
 use crate::handle::{serr, Procedure, SchedError};
+use crate::pattern::Pattern;
+
+/// Where a `configwrite_at` insertion lands relative to the matched
+/// statement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Position {
+    /// Insert immediately before the matched statement.
+    Before,
+    /// Insert immediately after the matched statement.
+    After,
+}
+
+impl Position {
+    fn label(self) -> &'static str {
+        match self {
+            Position::Before => "before",
+            Position::After => "after",
+        }
+    }
+}
 
 impl Procedure {
-    /// Inserts `config.field = value` immediately after the matched
-    /// statement. Pollutes `(config, field)`; fails if any code after the
-    /// insertion point may read the field (context extension, §6.2).
-    pub fn configwrite_after(
+    /// Inserts `config.field = value` immediately before or after the
+    /// matched statement. Pollutes `(config, field)`; fails if any code
+    /// after the insertion point may read the field (context extension,
+    /// §6.2). Used in §2.4 to materialize `ConfigLoad.src_stride` and to
+    /// hoist loop-invariant configuration.
+    pub fn configwrite_at(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
+        pos: Position,
         config: Sym,
         field: Sym,
         value: Expr,
     ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
-            "configwrite_after",
-            format!("{stmt_pat}, {}.{}", config.name(), field.name()),
-            || self.configwrite_at(stmt_pat, config, field, value, false),
+            "configwrite_at",
+            format!(
+                "{stmt_pat}, {}, {}.{}",
+                pos.label(),
+                config.name(),
+                field.name()
+            ),
+            || self.configwrite_at_impl(&stmt_pat, config, field, value, pos == Position::Before),
         )
+    }
+
+    /// Inserts `config.field = value` immediately after the matched
+    /// statement.
+    #[deprecated(since = "0.2.0", note = "use `configwrite_at` with `Position::After`")]
+    pub fn configwrite_after(
+        &self,
+        stmt_pat: impl Into<Pattern>,
+        config: Sym,
+        field: Sym,
+        value: Expr,
+    ) -> Result<Procedure, SchedError> {
+        self.configwrite_at(stmt_pat, Position::After, config, field, value)
     }
 
     /// Inserts `config.field = value` immediately before the matched
-    /// statement (used in §2.4 to materialize `ConfigLoad.src_stride`).
+    /// statement.
+    #[deprecated(since = "0.2.0", note = "use `configwrite_at` with `Position::Before`")]
     pub fn configwrite_before(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
         config: Sym,
         field: Sym,
         value: Expr,
     ) -> Result<Procedure, SchedError> {
-        self.instrumented(
-            "configwrite_before",
-            format!("{stmt_pat}, {}.{}", config.name(), field.name()),
-            || self.configwrite_at(stmt_pat, config, field, value, true),
-        )
+        self.configwrite_at(stmt_pat, Position::Before, config, field, value)
     }
 
-    fn configwrite_at(
+    fn configwrite_at_impl(
         &self,
-        stmt_pat: &str,
+        stmt_pat: &Pattern,
         config: Sym,
         field: Sym,
         value: Expr,
@@ -93,7 +132,7 @@ impl Procedure {
                 &write_path,
                 &[(config, field)],
                 &mut st.reg,
-                &mut st.solver,
+                &st.check,
             )
         };
         if !ok {
@@ -112,11 +151,12 @@ impl Procedure {
     /// `config.field = e` just before. Pollutes `(config, field)`.
     pub fn bind_config(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
         expr_text: &str,
         config: Sym,
         field: Sym,
     ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
             "bind_config",
             format!(
@@ -124,13 +164,13 @@ impl Procedure {
                 config.name(),
                 field.name()
             ),
-            || self.bind_config_impl(stmt_pat, expr_text, config, field),
+            || self.bind_config_impl(&stmt_pat, expr_text, config, field),
         )
     }
 
     fn bind_config_impl(
         &self,
-        stmt_pat: &str,
+        stmt_pat: &Pattern,
         expr_text: &str,
         config: Sym,
         field: Sym,
@@ -222,7 +262,7 @@ impl Procedure {
                 &path,
                 &[(config, field)],
                 &mut st.reg,
-                &mut st.solver,
+                &st.check,
             )
         };
         if !ok {
@@ -239,13 +279,14 @@ impl Procedure {
     /// written value definitely equals the field's current value (§2.4's
     /// "eliminating redundant setting of configuration state"). This is
     /// fully equivalence-preserving — no pollution.
-    pub fn delete_config(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("delete_config", stmt_pat, || {
-            self.delete_config_impl(stmt_pat)
+    pub fn delete_config(&self, stmt_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
+        self.instrumented("delete_config", stmt_pat.as_str(), || {
+            self.delete_config_impl(&stmt_pat)
         })
     }
 
-    fn delete_config_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+    fn delete_config_impl(&self, stmt_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let Stmt::WriteConfig { config, field, rhs } = self.stmt(&path)?.clone() else {
             return serr(format!(
@@ -274,13 +315,14 @@ impl Procedure {
 
     /// `reorder_stmts(s1)`: swaps the matched statement with its
     /// immediately following sibling, after checking `Commutes` (§5.7).
-    pub fn reorder_stmts(&self, first_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("reorder_stmts", first_pat, || {
-            self.reorder_stmts_impl(first_pat)
+    pub fn reorder_stmts(&self, first_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let first_pat = first_pat.into();
+        self.instrumented("reorder_stmts", first_pat.as_str(), || {
+            self.reorder_stmts_impl(&first_pat)
         })
     }
 
-    fn reorder_stmts_impl(&self, first_pat: &str) -> Result<Procedure, SchedError> {
+    fn reorder_stmts_impl(&self, first_pat: &Pattern) -> Result<Procedure, SchedError> {
         let p1 = self.find(first_pat)?;
         let p2 = p1
             .sibling(1)
@@ -300,23 +342,28 @@ impl Procedure {
         }
 
         let site = self.site(&p1)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
-        let e1 = effect_of_stmts_at(
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        let mut ck = st.check.lock();
+        let e1 = effect_of_stmts_cached(
             self.proc(),
             std::slice::from_ref(&s1),
             &site.genv,
             &mut st.reg,
+            &mut ck.effects,
         );
-        let e2 = effect_of_stmts_at(
+        let e2 = effect_of_stmts_cached(
             self.proc(),
             std::slice::from_ref(&s2),
             &site.genv,
             &mut st.reg,
+            &mut ck.effects,
         );
+        drop(ck);
         let mut lctx = LowerCtx::new();
         let cond = conditions::commutes(&e1, &e2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("reorder_stmts({first_pat})"))?;
 
         let p = self.splice(&p2, &mut |_| vec![])?;
@@ -330,20 +377,21 @@ impl Procedure {
     /// Deletes a `pass` statement (always equivalence-preserving).
     pub fn delete_pass(&self) -> Result<Procedure, SchedError> {
         self.instrumented("delete_pass", "pass", || {
-            let path = self.find("pass")?;
+            let path = self.find(&Pattern::from("pass"))?;
             self.splice(&path, &mut |_| vec![])
         })
     }
 
     /// `shadow_delete(s)`: deletes the matched statement when the
     /// statement immediately after it shadows it (`s1;s2 ≡ s2`, §5.7).
-    pub fn shadow_delete(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("shadow_delete", stmt_pat, || {
-            self.shadow_delete_impl(stmt_pat)
+    pub fn shadow_delete(&self, stmt_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
+        self.instrumented("shadow_delete", stmt_pat.as_str(), || {
+            self.shadow_delete_impl(&stmt_pat)
         })
     }
 
-    fn shadow_delete_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+    fn shadow_delete_impl(&self, stmt_pat: &Pattern) -> Result<Procedure, SchedError> {
         let p1 = self.find(stmt_pat)?;
         let p2 = p1
             .sibling(1)
@@ -356,23 +404,28 @@ impl Procedure {
             return serr("shadow_delete: cannot delete a binding statement");
         }
         let site = self.site(&p1)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
-        let e1 = effect_of_stmts_at(
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        let mut ck = st.check.lock();
+        let e1 = effect_of_stmts_cached(
             self.proc(),
             std::slice::from_ref(&s1),
             &site.genv,
             &mut st.reg,
+            &mut ck.effects,
         );
-        let e2 = effect_of_stmts_at(
+        let e2 = effect_of_stmts_cached(
             self.proc(),
             std::slice::from_ref(&s2),
             &site.genv,
             &mut st.reg,
+            &mut ck.effects,
         );
+        drop(ck);
         let mut lctx = LowerCtx::new();
         let cond = conditions::shadows(&e1, &e2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("shadow_delete({stmt_pat})"))?;
         self.splice(&p1, &mut |_| vec![])
     }

@@ -10,19 +10,25 @@ use exo_core::Sym;
 
 use crate::fold::{fold_block, fold_expr};
 use crate::handle::{serr, Procedure, SchedError};
+use crate::pattern::Pattern;
 
 impl Procedure {
     /// `set_memory(a, MEM)`: changes the memory annotation of an
     /// allocation (memory annotations are ignored by the analyses, so
     /// this is always equivalence-preserving; legality is enforced by the
     /// backend checks at code-generation time).
-    pub fn set_memory(&self, alloc_pat: &str, mem: MemName) -> Result<Procedure, SchedError> {
+    pub fn set_memory(
+        &self,
+        alloc_pat: impl Into<Pattern>,
+        mem: MemName,
+    ) -> Result<Procedure, SchedError> {
+        let alloc_pat = alloc_pat.into();
         self.instrumented("set_memory", format!("{alloc_pat}, {mem:?}"), || {
-            self.set_memory_impl(alloc_pat, mem)
+            self.set_memory_impl(&alloc_pat, mem)
         })
     }
 
-    fn set_memory_impl(&self, alloc_pat: &str, mem: MemName) -> Result<Procedure, SchedError> {
+    fn set_memory_impl(&self, alloc_pat: &Pattern, mem: MemName) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
         let Stmt::Alloc {
             name, ty, shape, ..
@@ -41,13 +47,22 @@ impl Procedure {
 
     /// `set_precision(a, typ)`: refines the precision of an allocation
     /// (e.g. the abstract `R` to `f32`).
-    pub fn set_precision(&self, alloc_pat: &str, ty: DataType) -> Result<Procedure, SchedError> {
+    pub fn set_precision(
+        &self,
+        alloc_pat: impl Into<Pattern>,
+        ty: DataType,
+    ) -> Result<Procedure, SchedError> {
+        let alloc_pat = alloc_pat.into();
         self.instrumented("set_precision", format!("{alloc_pat}, {ty:?}"), || {
-            self.set_precision_impl(alloc_pat, ty)
+            self.set_precision_impl(&alloc_pat, ty)
         })
     }
 
-    fn set_precision_impl(&self, alloc_pat: &str, ty: DataType) -> Result<Procedure, SchedError> {
+    fn set_precision_impl(
+        &self,
+        alloc_pat: &Pattern,
+        ty: DataType,
+    ) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
         let Stmt::Alloc {
             name, shape, mem, ..
@@ -129,11 +144,14 @@ impl Procedure {
     /// enclosing binder. Reusing one buffer across iterations is
     /// equivalent because reads of uninitialized memory are errors
     /// (paper §4.1).
-    pub fn lift_alloc(&self, alloc_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("lift_alloc", alloc_pat, || self.lift_alloc_impl(alloc_pat))
+    pub fn lift_alloc(&self, alloc_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let alloc_pat = alloc_pat.into();
+        self.instrumented("lift_alloc", alloc_pat.as_str(), || {
+            self.lift_alloc_impl(&alloc_pat)
+        })
     }
 
-    fn lift_alloc_impl(&self, alloc_pat: &str) -> Result<Procedure, SchedError> {
+    fn lift_alloc_impl(&self, alloc_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path = self.find(alloc_pat)?;
         let Stmt::Alloc { shape, .. } = self.stmt(&path)?.clone() else {
             return serr(format!("lift_alloc: {alloc_pat:?} is not an allocation"));
@@ -168,20 +186,21 @@ impl Procedure {
     /// `buf`) or the exact printed form of the expression.
     pub fn bind_expr(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
         expr_pat: &str,
         new_name: &str,
     ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
             "bind_expr",
             format!("{stmt_pat}, {expr_pat}, {new_name}"),
-            || self.bind_expr_impl(stmt_pat, expr_pat, new_name),
+            || self.bind_expr_impl(&stmt_pat, expr_pat, new_name),
         )
     }
 
     fn bind_expr_impl(
         &self,
-        stmt_pat: &str,
+        stmt_pat: &Pattern,
         expr_pat: &str,
         new_name: &str,
     ) -> Result<Procedure, SchedError> {
@@ -261,22 +280,23 @@ impl Procedure {
     /// loop later unifies with a broadcast instruction.
     pub fn expand_scalar(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
         expr_pat: &str,
         lane_loop: &str,
         new_name: &str,
         mem: MemName,
     ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
             "expand_scalar",
             format!("{stmt_pat}, {expr_pat}, {lane_loop}, {new_name}"),
-            || self.expand_scalar_impl(stmt_pat, expr_pat, lane_loop, new_name, mem),
+            || self.expand_scalar_impl(&stmt_pat, expr_pat, lane_loop, new_name, mem),
         )
     }
 
     fn expand_scalar_impl(
         &self,
-        stmt_pat: &str,
+        stmt_pat: &Pattern,
         expr_pat: &str,
         lane_loop: &str,
         new_name: &str,
@@ -409,22 +429,23 @@ impl Procedure {
     /// window or call argument.
     pub fn stage_mem(
         &self,
-        stmt_pat: &str,
+        stmt_pat: impl Into<Pattern>,
         buf_name: &str,
         window: &[(Expr, Expr)],
         new_name: &str,
         mem: MemName,
     ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
             "stage_mem",
             format!("{stmt_pat}, {buf_name}, {new_name}, {mem:?}"),
-            || self.stage_mem_impl(stmt_pat, buf_name, window, new_name, mem),
+            || self.stage_mem_impl(&stmt_pat, buf_name, window, new_name, mem),
         )
     }
 
     fn stage_mem_impl(
         &self,
-        stmt_pat: &str,
+        stmt_pat: &Pattern,
         buf_name: &str,
         window: &[(Expr, Expr)],
         new_name: &str,
@@ -577,13 +598,17 @@ impl Procedure {
         let staged = self.splice(&path, &mut |_| out.clone())?;
         let staged = staged.with_body(fold_block(staged.body()));
 
-        // re-verify memory safety of the staged procedure: this is what
-        // guarantees the window covers every access
+        // re-verify memory safety of the staged block: only the rewritten
+        // subtree (the enclosing scope of the staged statement) is
+        // rechecked — everything outside it is untouched by the splice.
         {
+            let scope = path
+                .parent()
+                .unwrap_or_else(|| exo_core::path::StmtPath(Vec::new()));
             let mut st = self.state().lock().expect("scheduler state poisoned");
             let st = &mut *st;
             if let Err(errs) =
-                exo_analysis::check_bounds(staged.proc(), &mut st.reg, &mut st.solver)
+                exo_analysis::check_bounds_at(staged.proc(), &scope, &mut st.reg, &st.check)
             {
                 return serr(format!(
                     "stage_mem: staged block is not memory-safe (window too small?): {}",

@@ -9,7 +9,7 @@ use exo_core::visit::{free_syms_block, refresh_bound, subst_block, visit_stmts};
 use exo_core::Sym;
 
 use exo_analysis::conditions;
-use exo_analysis::context::effect_of_stmts_at;
+use exo_analysis::context::effect_of_stmts_cached;
 use exo_analysis::effects::Effect;
 use exo_analysis::effexpr::LowerCtx;
 use exo_analysis::globals::lift_in_env;
@@ -17,6 +17,7 @@ use exo_smt::formula::Formula;
 
 use crate::fold::{fold_block, fold_expr};
 use crate::handle::{serr, Procedure, SchedError};
+use crate::pattern::Pattern;
 
 impl Procedure {
     /// `split(i, c, io, ii)`: rewrites `for i in seq(0, N)` into
@@ -28,21 +29,22 @@ impl Procedure {
     /// extent (use [`Procedure::split_guard`] for non-divisible extents).
     pub fn split(
         &self,
-        loop_pat: &str,
+        loop_pat: impl Into<Pattern>,
         c: i64,
         io_name: &str,
         ii_name: &str,
     ) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
         self.instrumented(
             "split",
             format!("{loop_pat}, {c}, {io_name}, {ii_name}"),
-            || self.split_impl(loop_pat, c, io_name, ii_name),
+            || self.split_impl(&loop_pat, c, io_name, ii_name),
         )
     }
 
     fn split_impl(
         &self,
-        loop_pat: &str,
+        loop_pat: &Pattern,
         c: i64,
         io_name: &str,
         ii_name: &str,
@@ -106,21 +108,22 @@ impl Procedure {
     /// `if c·io + ii < N:` around the body.
     pub fn split_guard(
         &self,
-        loop_pat: &str,
+        loop_pat: impl Into<Pattern>,
         c: i64,
         io_name: &str,
         ii_name: &str,
     ) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
         self.instrumented(
             "split_guard",
             format!("{loop_pat}, {c}, {io_name}, {ii_name}"),
-            || self.split_guard_impl(loop_pat, c, io_name, ii_name),
+            || self.split_guard_impl(&loop_pat, c, io_name, ii_name),
         )
     }
 
     fn split_guard_impl(
         &self,
-        loop_pat: &str,
+        loop_pat: &Pattern,
         c: i64,
         io_name: &str,
         ii_name: &str,
@@ -165,13 +168,18 @@ impl Procedure {
     /// `reorder(i, j)`: swaps two perfectly nested loops
     /// `for i: for j: s ~> for j: for i: s` after checking the §5.8
     /// reordering condition.
-    pub fn reorder(&self, outer_pat: &str, inner_name: &str) -> Result<Procedure, SchedError> {
+    pub fn reorder(
+        &self,
+        outer_pat: impl Into<Pattern>,
+        inner_name: &str,
+    ) -> Result<Procedure, SchedError> {
+        let outer_pat = outer_pat.into();
         self.instrumented("reorder", format!("{outer_pat}, {inner_name}"), || {
-            self.reorder_impl(outer_pat, inner_name)
+            self.reorder_impl(&outer_pat, inner_name)
         })
     }
 
-    fn reorder_impl(&self, outer_pat: &str, inner_name: &str) -> Result<Procedure, SchedError> {
+    fn reorder_impl(&self, outer_pat: &Pattern, inner_name: &str) -> Result<Procedure, SchedError> {
         let path = self.find(outer_pat)?;
         let Stmt::For {
             iter: x,
@@ -211,12 +219,19 @@ impl Procedure {
         }
 
         let site = self.site(&path)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
         let xlo_e = lift_in_env(&xlo, &site.genv, &mut st.reg);
         let xhi_e = lift_in_env(&xhi, &site.genv, &mut st.reg);
         let ylo_e = lift_in_env(ylo, &site.genv, &mut st.reg);
         let yhi_e = lift_in_env(yhi, &site.genv, &mut st.reg);
-        let body_eff = effect_of_stmts_at(self.proc(), inner_body, &site.genv, &mut st.reg);
+        let body_eff = effect_of_stmts_cached(
+            self.proc(),
+            inner_body,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
         let bounds_eff = config_reads_of(&[ylo.clone(), yhi.clone()]);
         let mut lctx = LowerCtx::new();
         let cond = conditions::loop_reorder(
@@ -229,7 +244,7 @@ impl Procedure {
             &mut lctx,
         );
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("reorder({outer_pat}, {inner_name})"))?;
 
         let swapped = Stmt::For {
@@ -247,11 +262,12 @@ impl Procedure {
     }
 
     /// `unroll(i)`: fully unrolls a loop with constant bounds.
-    pub fn unroll(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("unroll", loop_pat, || self.unroll_impl(loop_pat))
+    pub fn unroll(&self, loop_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
+        self.instrumented("unroll", loop_pat.as_str(), || self.unroll_impl(&loop_pat))
     }
 
-    fn unroll_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+    fn unroll_impl(&self, loop_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path = self.find(loop_pat)?;
         let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
             return serr(format!("unroll: {loop_pat:?} is not a loop"));
@@ -275,13 +291,14 @@ impl Procedure {
     /// `fission_after(s)`: splits the loop enclosing the matched
     /// statement into two loops, the first ending after the statement
     /// (paper Fig. 2 `fission_after`, condition §5.8).
-    pub fn fission_after(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("fission_after", stmt_pat, || {
-            self.fission_after_impl(stmt_pat)
+    pub fn fission_after(&self, stmt_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
+        self.instrumented("fission_after", stmt_pat.as_str(), || {
+            self.fission_after_impl(&stmt_pat)
         })
     }
 
-    fn fission_after_impl(&self, stmt_pat: &str) -> Result<Procedure, SchedError> {
+    fn fission_after_impl(&self, stmt_pat: &Pattern) -> Result<Procedure, SchedError> {
         let spath = self.find(stmt_pat)?;
         let Some(loop_path) = spath.parent() else {
             return serr("fission_after: statement is not inside a loop");
@@ -308,17 +325,30 @@ impl Procedure {
         }
 
         let site = self.site(&loop_path)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
         let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
-        let eff1 = effect_of_stmts_at(self.proc(), part1, &site.genv, &mut st.reg);
-        let eff2 = effect_of_stmts_at(self.proc(), part2, &site.genv, &mut st.reg);
+        let eff1 = effect_of_stmts_cached(
+            self.proc(),
+            part1,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
+        let eff2 = effect_of_stmts_cached(
+            self.proc(),
+            part2,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
         let bounds_eff = config_reads_of(&[lo.clone(), hi.clone()]);
         let mut lctx = LowerCtx::new();
         let cond =
             conditions::loop_fission(iter, (&lo_e, &hi_e), &bounds_eff, &eff1, &eff2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("fission_after({stmt_pat})"))?;
 
         let iter2 = iter.copy();
@@ -342,11 +372,14 @@ impl Procedure {
     /// `fuse_loop(i)`: fuses the matched loop with its immediately
     /// following sibling loop (which must have identical bounds); the
     /// safety condition is the same as fission (§5.8).
-    pub fn fuse_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("fuse_loop", loop_pat, || self.fuse_loop_impl(loop_pat))
+    pub fn fuse_loop(&self, loop_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
+        self.instrumented("fuse_loop", loop_pat.as_str(), || {
+            self.fuse_loop_impl(&loop_pat)
+        })
     }
 
-    fn fuse_loop_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+    fn fuse_loop_impl(&self, loop_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path1 = self.find(loop_pat)?;
         let path2 = path1
             .sibling(1)
@@ -378,17 +411,30 @@ impl Procedure {
         let b2r = subst_block(&b2, &map);
 
         let site = self.site(&path1)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
         let lo_e = lift_in_env(&lo1, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi1, &site.genv, &mut st.reg);
-        let eff1 = effect_of_stmts_at(self.proc(), &b1, &site.genv, &mut st.reg);
-        let eff2 = effect_of_stmts_at(self.proc(), &b2r, &site.genv, &mut st.reg);
+        let eff1 = effect_of_stmts_cached(
+            self.proc(),
+            &b1,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
+        let eff2 = effect_of_stmts_cached(
+            self.proc(),
+            &b2r,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
         let bounds_eff = config_reads_of(&[lo1.clone(), hi1.clone()]);
         let mut lctx = LowerCtx::new();
         let cond =
             conditions::loop_fission(x1, (&lo_e, &hi_e), &bounds_eff, &eff1, &eff2, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("fuse_loop({loop_pat})"))?;
 
         let mut fused_body = b1;
@@ -408,13 +454,18 @@ impl Procedure {
     /// `partition_loop(i, c)`: splits the iteration range at `lo + c`
     /// into two back-to-back loops (always equivalence-preserving when
     /// `lo + c ≤ hi` is provable).
-    pub fn partition_loop(&self, loop_pat: &str, c: i64) -> Result<Procedure, SchedError> {
+    pub fn partition_loop(
+        &self,
+        loop_pat: impl Into<Pattern>,
+        c: i64,
+    ) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
         self.instrumented("partition_loop", format!("{loop_pat}, {c}"), || {
-            self.partition_loop_impl(loop_pat, c)
+            self.partition_loop_impl(&loop_pat, c)
         })
     }
 
-    fn partition_loop_impl(&self, loop_pat: &str, c: i64) -> Result<Procedure, SchedError> {
+    fn partition_loop_impl(&self, loop_pat: &Pattern, c: i64) -> Result<Procedure, SchedError> {
         if c < 0 {
             return serr("partition_loop: offset must be non-negative");
         }
@@ -456,11 +507,14 @@ impl Procedure {
     /// `remove_loop(i)`: replaces `for x do s` by `s` when the loop
     /// definitely runs at least once, the body is idempotent
     /// (`Shadows(a, a)`, §5.8), and `x` is not free in the body.
-    pub fn remove_loop(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("remove_loop", loop_pat, || self.remove_loop_impl(loop_pat))
+    pub fn remove_loop(&self, loop_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let loop_pat = loop_pat.into();
+        self.instrumented("remove_loop", loop_pat.as_str(), || {
+            self.remove_loop_impl(&loop_pat)
+        })
     }
 
-    fn remove_loop_impl(&self, loop_pat: &str) -> Result<Procedure, SchedError> {
+    fn remove_loop_impl(&self, loop_pat: &Pattern) -> Result<Procedure, SchedError> {
         let path = self.find(loop_pat)?;
         let Stmt::For { iter, lo, hi, body } = self.stmt(&path)?.clone() else {
             return serr(format!("remove_loop: {loop_pat:?} is not a loop"));
@@ -469,25 +523,33 @@ impl Procedure {
             return serr("remove_loop: iteration variable is used in the body");
         }
         let site = self.site(&path)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
         let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
-        let body_eff = effect_of_stmts_at(self.proc(), &body, &site.genv, &mut st.reg);
+        let body_eff = effect_of_stmts_cached(
+            self.proc(),
+            &body,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
         let mut lctx = LowerCtx::new();
         let cond = conditions::loop_remove(iter, (&lo_e, &hi_e), &body_eff, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, cond, &format!("remove_loop({loop_pat})"))?;
         self.splice(&path, &mut |_| body.clone())
     }
 
     /// `lift_if`: hoists a loop-invariant conditional out of its
     /// enclosing loop: `for i: if c: s ~> if c: for i: s`.
-    pub fn lift_if(&self, if_pat: &str) -> Result<Procedure, SchedError> {
-        self.instrumented("lift_if", if_pat, || self.lift_if_impl(if_pat))
+    pub fn lift_if(&self, if_pat: impl Into<Pattern>) -> Result<Procedure, SchedError> {
+        let if_pat = if_pat.into();
+        self.instrumented("lift_if", if_pat.as_str(), || self.lift_if_impl(&if_pat))
     }
 
-    fn lift_if_impl(&self, if_pat: &str) -> Result<Procedure, SchedError> {
+    fn lift_if_impl(&self, if_pat: &Pattern) -> Result<Procedure, SchedError> {
         let if_path = self.find(if_pat)?;
         let Some(loop_path) = if_path.parent() else {
             return serr("lift_if: conditional is not inside a loop");
@@ -517,13 +579,20 @@ impl Procedure {
         }
         // the condition's (config) reads must commute with the body
         let site = self.site(&loop_path)?;
-        let mut st = self.state().lock().expect("scheduler state poisoned");
-        let whole_eff = effect_of_stmts_at(self.proc(), &body, &site.genv, &mut st.reg);
+        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let st = &mut *guard;
+        let whole_eff = effect_of_stmts_cached(
+            self.proc(),
+            &body,
+            &site.genv,
+            &mut st.reg,
+            &mut st.check.lock().effects,
+        );
         let cond_eff = config_reads_of(std::slice::from_ref(&cond));
         let mut lctx = LowerCtx::new();
         let safe = conditions::commutes(&cond_eff, &whole_eff, &mut lctx);
         let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
-        drop(st);
+        drop(guard);
         self.require_valid(hyp, safe, &format!("lift_if({if_pat})"))?;
 
         let lifted = Stmt::If {
@@ -554,13 +623,18 @@ impl Procedure {
     /// `add_guard(s, e)`: wraps the matched statement in `if e: s`. The
     /// guard must be provably true whenever the statement executes, so
     /// the rewrite is equivalence-preserving.
-    pub fn add_guard(&self, stmt_pat: &str, cond: Expr) -> Result<Procedure, SchedError> {
-        self.instrumented("add_guard", stmt_pat, || {
-            self.add_guard_impl(stmt_pat, cond)
+    pub fn add_guard(
+        &self,
+        stmt_pat: impl Into<Pattern>,
+        cond: Expr,
+    ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
+        self.instrumented("add_guard", stmt_pat.as_str(), || {
+            self.add_guard_impl(&stmt_pat, cond)
         })
     }
 
-    fn add_guard_impl(&self, stmt_pat: &str, cond: Expr) -> Result<Procedure, SchedError> {
+    fn add_guard_impl(&self, stmt_pat: &Pattern, cond: Expr) -> Result<Procedure, SchedError> {
         let path = self.find(stmt_pat)?;
         let site = self.site(&path)?;
         {

@@ -12,6 +12,73 @@ use exo_core::ir::Stmt;
 use exo_core::path::{visit_paths, StmtPath};
 use exo_core::Block;
 
+/// A textual pattern argument, as passed to scheduling operators.
+///
+/// Every operator takes `impl Into<Pattern>`, so plain `&str` literals
+/// keep working while callers that build patterns programmatically can
+/// pass `String`s or reuse a `Pattern` value. Parsing is deferred to
+/// [`Pattern::parsed`] so operators can attach the original text to
+/// their error reports.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Pattern {
+    text: String,
+}
+
+// Debug delegates to the text so diagnostics print `"for i in _: _"`,
+// exactly as the former `&str` arguments did.
+impl fmt::Debug for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&self.text, f)
+    }
+}
+
+impl Pattern {
+    /// The original pattern text.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// Parses the pattern text into a matcher.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unrecognized syntax.
+    pub fn parsed(&self) -> Result<ParsedPattern, PatternError> {
+        ParsedPattern::parse(&self.text)
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl From<&str> for Pattern {
+    fn from(text: &str) -> Self {
+        Pattern { text: text.into() }
+    }
+}
+
+impl From<String> for Pattern {
+    fn from(text: String) -> Self {
+        Pattern { text }
+    }
+}
+
+impl From<&String> for Pattern {
+    fn from(text: &String) -> Self {
+        Pattern { text: text.clone() }
+    }
+}
+
+impl From<&Pattern> for Pattern {
+    fn from(p: &Pattern) -> Self {
+        p.clone()
+    }
+}
+
 /// A parsed statement pattern.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum StmtPattern {
@@ -35,9 +102,9 @@ pub enum StmtPattern {
     ConfigWrite(String, String),
 }
 
-/// A pattern plus a match selector.
+/// A parsed pattern plus a match selector.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Pattern {
+pub struct ParsedPattern {
     /// What to match.
     pub kind: StmtPattern,
     /// Which match to take (0-based).
@@ -65,13 +132,13 @@ fn perr<T>(message: impl Into<String>) -> Result<T, PatternError> {
     })
 }
 
-impl Pattern {
+impl ParsedPattern {
     /// Parses a pattern string.
     ///
     /// # Errors
     ///
     /// Fails on unrecognized syntax.
-    pub fn parse(text: &str) -> Result<Pattern, PatternError> {
+    pub fn parse(text: &str) -> Result<ParsedPattern, PatternError> {
         let text = text.trim();
         // optional trailing "#n"
         let (body, index) = match text.rsplit_once('#') {
@@ -84,7 +151,7 @@ impl Pattern {
             None => (text, 0),
         };
         let kind = Self::parse_kind(body)?;
-        Ok(Pattern { kind, index })
+        Ok(ParsedPattern { kind, index })
     }
 
     fn parse_kind(body: &str) -> Result<StmtPattern, PatternError> {
@@ -235,46 +302,61 @@ mod tests {
     }
 
     #[test]
+    fn pattern_newtype_roundtrips() {
+        let p: Pattern = "for i in _: _".into();
+        assert_eq!(p.as_str(), "for i in _: _");
+        assert_eq!(p.to_string(), "for i in _: _");
+        let owned: Pattern = String::from("pass").into();
+        let by_ref: Pattern = (&String::from("pass")).into();
+        assert_eq!(owned, by_ref);
+        assert_eq!(p.parsed().unwrap().kind, StmtPattern::For("i".into()));
+        assert!(Pattern::from("!!!").parsed().is_err());
+    }
+
+    #[test]
     fn parse_forms() {
         assert_eq!(
-            Pattern::parse("for i in _: _").unwrap().kind,
+            ParsedPattern::parse("for i in _: _").unwrap().kind,
             StmtPattern::For("i".into())
         );
         assert_eq!(
-            Pattern::parse("res : _").unwrap().kind,
+            ParsedPattern::parse("res : _").unwrap().kind,
             StmtPattern::Alloc("res".into())
         );
         assert_eq!(
-            Pattern::parse("C[_] += _").unwrap().kind,
+            ParsedPattern::parse("C[_] += _").unwrap().kind,
             StmtPattern::Reduce("C".into())
         );
         assert_eq!(
-            Pattern::parse("C[_,_] = _").unwrap().kind,
+            ParsedPattern::parse("C[_,_] = _").unwrap().kind,
             StmtPattern::Assign("C".into())
         );
         assert_eq!(
-            Pattern::parse("foo(_)").unwrap().kind,
+            ParsedPattern::parse("foo(_)").unwrap().kind,
             StmtPattern::Call("foo".into())
         );
-        assert_eq!(Pattern::parse("if _: _").unwrap().kind, StmtPattern::If);
-        let p = Pattern::parse("for i in _: _ #2").unwrap();
+        assert_eq!(
+            ParsedPattern::parse("if _: _").unwrap().kind,
+            StmtPattern::If
+        );
+        let p = ParsedPattern::parse("for i in _: _ #2").unwrap();
         assert_eq!(p.index, 2);
-        assert!(Pattern::parse("!!!").is_err());
+        assert!(ParsedPattern::parse("!!!").is_err());
     }
 
     #[test]
     fn find_selects_nth() {
         let body = sample();
-        let p0 = Pattern::parse("for i in _: _")
+        let p0 = ParsedPattern::parse("for i in _: _")
             .unwrap()
             .find(&body)
             .unwrap();
-        let p1 = Pattern::parse("for i in _: _ #1")
+        let p1 = ParsedPattern::parse("for i in _: _ #1")
             .unwrap()
             .find(&body)
             .unwrap();
         assert_ne!(p0, p1);
-        assert!(Pattern::parse("for i in _: _ #2")
+        assert!(ParsedPattern::parse("for i in _: _ #2")
             .unwrap()
             .find(&body)
             .is_err());
@@ -283,22 +365,34 @@ mod tests {
     #[test]
     fn find_alloc_and_stores() {
         let body = sample();
-        assert!(Pattern::parse("t : _").unwrap().find(&body).is_ok());
-        assert!(Pattern::parse("A[_] = _").unwrap().find(&body).is_ok());
-        assert!(Pattern::parse("A[_] += _").unwrap().find(&body).is_ok());
-        assert!(Pattern::parse("B[_] = _").unwrap().find(&body).is_err());
+        assert!(ParsedPattern::parse("t : _").unwrap().find(&body).is_ok());
+        assert!(ParsedPattern::parse("A[_] = _")
+            .unwrap()
+            .find(&body)
+            .is_ok());
+        assert!(ParsedPattern::parse("A[_] += _")
+            .unwrap()
+            .find(&body)
+            .is_ok());
+        assert!(ParsedPattern::parse("B[_] = _")
+            .unwrap()
+            .find(&body)
+            .is_err());
     }
 
     #[test]
     fn find_all_counts() {
         let body = sample();
         assert_eq!(
-            Pattern::parse("for i in _: _")
+            ParsedPattern::parse("for i in _: _")
                 .unwrap()
                 .find_all(&body)
                 .len(),
             2
         );
-        assert_eq!(Pattern::parse("pass").unwrap().find_all(&body).len(), 1);
+        assert_eq!(
+            ParsedPattern::parse("pass").unwrap().find_all(&body).len(),
+            1
+        );
     }
 }

@@ -25,6 +25,7 @@ use exo_smt::linear::LinExpr;
 
 use crate::fold::fold_expr;
 use crate::handle::{serr, Procedure, SchedError};
+use crate::pattern::Pattern;
 
 /// Binding of a callee tensor formal to a caller buffer region.
 #[derive(Clone, Debug)]
@@ -56,15 +57,24 @@ impl Procedure {
     /// Replaces `callee.body.len()` consecutive statements starting at
     /// the match of `stmt_pat` with a call to `callee`, inferring the
     /// arguments by unification.
-    pub fn replace(&self, stmt_pat: &str, callee: &Arc<Proc>) -> Result<Procedure, SchedError> {
+    pub fn replace(
+        &self,
+        stmt_pat: impl Into<Pattern>,
+        callee: &Arc<Proc>,
+    ) -> Result<Procedure, SchedError> {
+        let stmt_pat = stmt_pat.into();
         self.instrumented(
             "replace",
             format!("{stmt_pat}, {}", callee.name.name()),
-            || self.replace_impl(stmt_pat, callee),
+            || self.replace_impl(&stmt_pat, callee),
         )
     }
 
-    fn replace_impl(&self, stmt_pat: &str, callee: &Arc<Proc>) -> Result<Procedure, SchedError> {
+    fn replace_impl(
+        &self,
+        stmt_pat: &Pattern,
+        callee: &Arc<Proc>,
+    ) -> Result<Procedure, SchedError> {
         let first = self.find(stmt_pat)?;
         let n = callee.body.len();
         if n == 0 {

@@ -10,7 +10,7 @@ use exo_core::ir::{Expr, Proc};
 use exo_core::types::{DataType, MemName};
 use exo_core::Sym;
 use exo_interp::{ArgVal, Machine};
-use exo_sched::Procedure;
+use exo_sched::{Position, Procedure};
 use rand::{Rng, SeedableRng};
 
 fn scratchpad() -> MemName {
@@ -229,8 +229,9 @@ fn config_write_workflow_of_section_2_4() {
 
     // configwrite_before: materialize ConfigLoad.src_stride = stride(src, 0)
     let with_cfg = p
-        .configwrite_before(
+        .configwrite_at(
             "for i in _: _",
+            Position::Before,
             cfg,
             field,
             Expr::Stride { buf: src, dim: 0 },
@@ -340,7 +341,7 @@ fn hoist_config_out_of_loop() {
 
     // and a redundant second write can be deleted outright
     let redundant = hoisted
-        .configwrite_after("Cfg.s = _", cfg, field, Expr::int(64))
+        .configwrite_at("Cfg.s = _", Position::After, cfg, field, Expr::int(64))
         .unwrap();
     let cleaned = redundant.delete_config("Cfg.s = _ #1").unwrap();
     assert_eq!(cleaned.show().matches("Cfg.s = 64").count(), 1);

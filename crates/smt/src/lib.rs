@@ -11,18 +11,23 @@
 //! * [`formula`] — first-order formulas with quantifiers;
 //! * [`qe`] — Cooper-style quantifier elimination;
 //! * [`solver`] — cached validity/satisfiability checking with a work
-//!   limit that fails safe ([`solver::Answer::Unknown`]).
+//!   limit that fails safe ([`solver::Answer::Unknown`]);
+//! * [`canon`] — alpha-normalization of formulas onto a stable symbol
+//!   pool, the key function behind the cross-rewrite verdict cache in
+//!   `exo-analysis`.
 //!
 //! Exo's quasi-affine restriction on control expressions (paper §3.1)
 //! guarantees that every safety condition the analyses generate lands in
 //! exactly this decidable fragment.
 
+pub mod canon;
 pub mod formula;
 pub mod linear;
 pub mod qe;
 pub mod solver;
 pub mod ternary;
 
+pub use canon::canonicalize;
 pub use formula::{Atom, Formula};
 pub use linear::LinExpr;
 pub use solver::{Answer, Solver};

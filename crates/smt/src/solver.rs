@@ -7,6 +7,7 @@
 //! `exo-sched` are the two levers).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use crate::formula::Formula;
@@ -94,6 +95,18 @@ impl Solver {
             max_size,
             ..Solver::new()
         }
+    }
+
+    /// The process-wide shared solver.
+    ///
+    /// Tests and tools that only need *some* solver should lock this one
+    /// instead of constructing throwaways — queries then accumulate in a
+    /// single cache. Scheduling goes further and routes through
+    /// `exo-analysis`'s `CheckCtx`, which canonicalizes formulas before
+    /// consulting its own shared solver.
+    pub fn shared() -> &'static Mutex<Solver> {
+        static SHARED: OnceLock<Mutex<Solver>> = OnceLock::new();
+        SHARED.get_or_init(|| Mutex::new(Solver::new()))
     }
 
     /// Returns activity counters.
@@ -236,9 +249,17 @@ mod tests {
     use crate::linear::LinExpr;
     use exo_core::sym::Sym;
 
+    /// Locks the process-wide solver, recovering from poisoning (a panic
+    /// in an unrelated test must not cascade here).
+    fn shared() -> std::sync::MutexGuard<'static, Solver> {
+        Solver::shared()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     #[test]
     fn sat_and_valid_are_dual() {
-        let mut s = Solver::new();
+        let mut s = shared();
         let x = Sym::new("x");
         let f = Formula::le(LinExpr::var(x), LinExpr::constant(0));
         assert_eq!(s.check_sat(&f), Answer::Yes); // x = 0 works
@@ -247,7 +268,7 @@ mod tests {
 
     #[test]
     fn entailment() {
-        let mut s = Solver::new();
+        let mut s = shared();
         let x = Sym::new("x");
         // x ≥ 4 ⊢ x ≥ 2
         let hyp = Formula::ge(LinExpr::var(x), LinExpr::constant(4));
@@ -258,19 +279,22 @@ mod tests {
 
     #[test]
     fn cache_hits_count() {
-        let mut s = Solver::new();
+        let mut s = shared();
+        let before = s.stats();
         let x = Sym::new("x");
         let f = Formula::le(LinExpr::var(x), LinExpr::constant(0));
         let _ = s.check_sat(&f);
         let _ = s.check_sat(&f);
-        assert_eq!(s.stats().queries, 2);
-        assert_eq!(s.stats().cache_hits, 1);
+        let after = s.stats();
+        assert_eq!(after.queries - before.queries, 2);
+        assert_eq!(after.cache_hits - before.cache_hits, 1);
     }
 
     #[test]
     fn work_limit_fails_safe() {
         // a formula with many interacting divisibilities blows up; a tiny
         // budget must yield Unknown, never a wrong answer
+        // needs its own budget, so this one test keeps a local solver
         let mut s = Solver::with_limit(4);
         let x = Sym::new("x");
         let y = Sym::new("y");
@@ -289,7 +313,7 @@ mod tests {
         // the guard condition produced by split-with-tail: the tail guard
         // 16·io + ii < n is implied when io < n/16 (floor) and ii < 16 …
         // only when 16 | n. Check both directions.
-        let mut s = Solver::new();
+        let mut s = shared();
         let io = Sym::new("io");
         let ii = Sym::new("ii");
         let n = Sym::new("n");

@@ -10,10 +10,19 @@
 #![cfg(feature = "proptest-tests")]
 
 use exo_core::sym::Sym;
+use exo_smt::canon::canonicalize;
 use exo_smt::formula::{Atom, Formula};
 use exo_smt::linear::LinExpr;
 use exo_smt::solver::{Answer, Solver};
 use proptest::prelude::*;
+
+/// All property tests share the process-wide solver: one cache, realistic
+/// reuse, and no per-case construction cost.
+fn shared() -> std::sync::MutexGuard<'static, Solver> {
+    Solver::shared()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 const BOUND: i64 = 6;
 
@@ -121,7 +130,7 @@ proptest! {
         let formula = boxed(to_formula(&f, &vars), &vars);
         let boxed_fexpr = f; // box is applied on the enumeration side too
         let expected = brute_force_sat(&boxed_fexpr, 2);
-        let mut solver = Solver::new();
+        let mut solver = shared();
         let got = solver.check_sat(&formula);
         prop_assert_ne!(got, Answer::Unknown, "work limit hit on small formula");
         prop_assert_eq!(got == Answer::Yes, expected, "formula: {}", formula);
@@ -132,7 +141,7 @@ proptest! {
         let vars = [Sym::new("q0"), Sym::new("q1"), Sym::new("q2")];
         let formula = boxed(to_formula(&f, &vars), &vars);
         let expected = brute_force_sat(&f, 3);
-        let mut solver = Solver::new();
+        let mut solver = shared();
         let got = solver.check_sat(&formula);
         prop_assert_ne!(got, Answer::Unknown, "work limit hit on small formula");
         prop_assert_eq!(got == Answer::Yes, expected, "formula: {}", formula);
@@ -146,7 +155,7 @@ proptest! {
         let vars = [Sym::new("r0"), Sym::new("r1")];
         let g = to_formula(&f, &vars);
         let tauto = Formula::or(vec![g.clone(), g.negate()]);
-        let mut solver = Solver::new();
+        let mut solver = shared();
         prop_assert_ne!(solver.check_valid(&tauto), Answer::No);
     }
 
@@ -157,7 +166,22 @@ proptest! {
         let g = boxed(to_formula(&f, &vars), &vars);
         let all = g.clone().forall(vars[0]);
         let some = g.exists(vars[0]);
-        let mut solver = Solver::new();
+        let mut solver = shared();
         prop_assert_eq!(solver.check_valid(&all.implies(some)), Answer::Yes);
+    }
+
+    #[test]
+    fn canonicalization_is_sound_and_merges_alpha_variants(f in arb_fexpr(2)) {
+        // Renaming all variables to fresh syms must not change the
+        // verdict, and both spellings must share one canonical form.
+        let vars = [Sym::new("t0"), Sym::new("t1")];
+        let renamed = [Sym::new("u0"), Sym::new("u1")];
+        let g = boxed(to_formula(&f, &vars), &vars);
+        let h = boxed(to_formula(&f, &renamed), &renamed);
+        prop_assert_eq!(canonicalize(&g), canonicalize(&h));
+        let mut solver = shared();
+        let direct = solver.check_sat(&g);
+        let canon = solver.check_sat(&canonicalize(&g));
+        prop_assert_eq!(direct, canon);
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_cache-a15e4409e9011055.d: crates/bench/src/bin/check_cache.rs
+
+/root/repo/target/debug/deps/check_cache-a15e4409e9011055: crates/bench/src/bin/check_cache.rs
+
+crates/bench/src/bin/check_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_cache-dbd1e54368445d72.d: crates/sched/tests/check_cache.rs
+
+/root/repo/target/debug/deps/check_cache-dbd1e54368445d72: crates/sched/tests/check_cache.rs
+
+crates/sched/tests/check_cache.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/exo_analysis-0d733e9fd51136ef.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
+/root/repo/target/debug/deps/exo_analysis-0d733e9fd51136ef.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
 
-/root/repo/target/debug/deps/libexo_analysis-0d733e9fd51136ef.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
+/root/repo/target/debug/deps/libexo_analysis-0d733e9fd51136ef.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
 crates/analysis/src/conditions.rs:
 crates/analysis/src/context.rs:
 crates/analysis/src/effects.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/exo_analysis-3b5ebb6202d62ce2.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+/root/repo/target/debug/deps/exo_analysis-3b5ebb6202d62ce2.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
 
-/root/repo/target/debug/deps/libexo_analysis-3b5ebb6202d62ce2.rlib: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+/root/repo/target/debug/deps/libexo_analysis-3b5ebb6202d62ce2.rlib: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
 
-/root/repo/target/debug/deps/libexo_analysis-3b5ebb6202d62ce2.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+/root/repo/target/debug/deps/libexo_analysis-3b5ebb6202d62ce2.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
 crates/analysis/src/conditions.rs:
 crates/analysis/src/context.rs:
 crates/analysis/src/effects.rs:

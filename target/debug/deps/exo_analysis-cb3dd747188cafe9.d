@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/exo_analysis-cb3dd747188cafe9.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+/root/repo/target/debug/deps/exo_analysis-cb3dd747188cafe9.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
 
-/root/repo/target/debug/deps/exo_analysis-cb3dd747188cafe9: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+/root/repo/target/debug/deps/exo_analysis-cb3dd747188cafe9: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
 
 crates/analysis/src/lib.rs:
 crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
 crates/analysis/src/conditions.rs:
 crates/analysis/src/context.rs:
 crates/analysis/src/effects.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/exo_smt-1ed6fda8e19ded33.d: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/debug/deps/exo_smt-1ed6fda8e19ded33.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
-/root/repo/target/debug/deps/libexo_smt-1ed6fda8e19ded33.rlib: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/debug/deps/libexo_smt-1ed6fda8e19ded33.rlib: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
-/root/repo/target/debug/deps/libexo_smt-1ed6fda8e19ded33.rmeta: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/debug/deps/libexo_smt-1ed6fda8e19ded33.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
 crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
 crates/smt/src/formula.rs:
 crates/smt/src/linear.rs:
 crates/smt/src/qe.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/exo_smt-39a36c4db54504f2.d: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
+/root/repo/target/debug/deps/exo_smt-39a36c4db54504f2.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
 
-/root/repo/target/debug/deps/libexo_smt-39a36c4db54504f2.rmeta: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
+/root/repo/target/debug/deps/libexo_smt-39a36c4db54504f2.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
 
 crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
 crates/smt/src/formula.rs:
 crates/smt/src/linear.rs:
 crates/smt/src/qe.rs:

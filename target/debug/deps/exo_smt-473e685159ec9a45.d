@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/exo_smt-473e685159ec9a45.d: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/debug/deps/exo_smt-473e685159ec9a45.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
-/root/repo/target/debug/deps/exo_smt-473e685159ec9a45: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/debug/deps/exo_smt-473e685159ec9a45: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
 crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
 crates/smt/src/formula.rs:
 crates/smt/src/linear.rs:
 crates/smt/src/qe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_benches-21b51583ce67a6f2.d: crates/bench/benches/paper_benches.rs
+
+/root/repo/target/debug/deps/paper_benches-21b51583ce67a6f2: crates/bench/benches/paper_benches.rs
+
+crates/bench/benches/paper_benches.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libproptest.rlib: /root/repo/third_party/proptest/src/lib.rs

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_cache-e53abd0a04ee9038.d: crates/bench/src/bin/check_cache.rs
+
+/root/repo/target/release/deps/check_cache-e53abd0a04ee9038: crates/bench/src/bin/check_cache.rs
+
+crates/bench/src/bin/check_cache.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/exo_smt-bc8b13da494356b7.d: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/release/deps/exo_smt-bc8b13da494356b7.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
-/root/repo/target/release/deps/libexo_smt-bc8b13da494356b7.rlib: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/release/deps/libexo_smt-bc8b13da494356b7.rlib: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
-/root/repo/target/release/deps/libexo_smt-bc8b13da494356b7.rmeta: crates/smt/src/lib.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+/root/repo/target/release/deps/libexo_smt-bc8b13da494356b7.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
 
 crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
 crates/smt/src/formula.rs:
 crates/smt/src/linear.rs:
 crates/smt/src/qe.rs:

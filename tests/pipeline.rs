@@ -31,7 +31,7 @@ def blur(n: size, src: f32[n], dst: f32[n]):
     {
         let mut st = q.state().lock().unwrap();
         let st = &mut *st;
-        exo::analysis::check_bounds(q.proc(), &mut st.reg, &mut st.solver).unwrap();
+        exo::analysis::check_bounds(q.proc(), &mut st.reg, &st.check).unwrap();
     }
 
     let c = exo::codegen::compile_c(&[q.proc().clone()], &Default::default()).unwrap();
