@@ -25,9 +25,18 @@ echo "== check-cache bench (smoke; fails on zero cache hits) =="
 EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
     cargo run --release -q -p exo-bench --bin check_cache
 
+echo "== chaos suite (seeded fault-injection matrix) =="
+cargo test -q --test chaos --test budget
+
+echo "== chaos bench (smoke; fails on escaped panic or monotonicity violation) =="
+EXO_CHAOS_SEED=42 EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
+    cargo run --release -q -p exo-bench --bin chaos
+
 if [[ "${EXO_CI_FULL:-0}" == "1" ]]; then
     echo "== full: cargo test --workspace -q =="
     cargo test --workspace -q
+    echo "== full: property tests (incl. operator fail-safety) =="
+    cargo test -q --features proptest-tests
 fi
 
 echo "CI OK"

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
+use exo_core::budget::ResourceBudget;
 use exo_smt::canon::canonicalize;
 use exo_smt::formula::Formula;
 use exo_smt::solver::{Answer, Solver, SolverStats};
@@ -67,6 +68,13 @@ pub struct EffectMemo {
 impl EffectMemo {
     /// Looks up a summary, counting the hit.
     pub fn get(&mut self, key: &str) -> Option<(Effect, GlobalEnv)> {
+        // Chaos injection: pretend the memo missed, forcing the uncached
+        // re-derivation path. A miss is always correct (just slower).
+        if exo_chaos::should_inject(exo_chaos::FaultSite::AnalysisCacheMiss) {
+            self.misses += 1;
+            exo_obs::counter_add("analysis.effect_memo.misses", 1);
+            return None;
+        }
         match self.map.get(key) {
             Some(e) => {
                 self.hits += 1;
@@ -118,6 +126,9 @@ pub struct CheckCtx {
     misses: usize,
     /// Per-statement effect summaries (dirty-region analysis support).
     pub effects: EffectMemo,
+    /// Fuel/deadline pool every query draws from; exhaustion answers
+    /// `Unknown` (fail-safe rejection) instead of hanging.
+    budget: ResourceBudget,
 }
 
 impl CheckCtx {
@@ -137,12 +148,24 @@ impl CheckCtx {
             hits: 0,
             misses: 0,
             effects: EffectMemo::default(),
+            budget: ResourceBudget::unlimited(),
         }
     }
 
     /// Whether the canonical verdict cache is enabled.
     pub fn cache_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// Installs the fuel/deadline pool queries draw from (shared with the
+    /// owning `SchedState` when scheduling).
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget queries draw from.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
     }
 
     /// Activity counters for this context.
@@ -171,14 +194,31 @@ impl CheckCtx {
     pub fn check_sat(&mut self, f: &Formula) -> Answer {
         self.queries += 1;
         exo_obs::counter_add("check.queries", 1);
+        // Budget: one fuel unit per query. Every safety analysis funnels its
+        // obligations through here, so exhausting the pool mid-fixpoint
+        // degrades the remaining obligations to `Unknown` — the rewrite is
+        // rejected, the process never hangs on a pathological query stream.
+        if self.budget.charge(1).is_err() {
+            exo_obs::counter_add("check.budget_unknown", 1);
+            return Answer::Unknown;
+        }
+        // While a chaos plan is armed, injected verdicts may flow back from
+        // the solver; keep them out of the canonical cache entirely so a
+        // later clean run over the same (possibly process-shared) context
+        // sees pristine verdicts.
+        let chaos_armed = exo_chaos::armed();
+        let forced_miss =
+            chaos_armed && exo_chaos::should_inject(exo_chaos::FaultSite::AnalysisCacheMiss);
         if !self.enabled {
             return self.solver.check_sat(f);
         }
         let key = canonicalize(f);
-        if let Some(&a) = self.cache.get(&key) {
-            self.hits += 1;
-            exo_obs::counter_add("check.cache_hits", 1);
-            return a;
+        if !forced_miss {
+            if let Some(&a) = self.cache.get(&key) {
+                self.hits += 1;
+                exo_obs::counter_add("check.cache_hits", 1);
+                return a;
+            }
         }
         // Decide on the canonical form: semantics-preserving, and it makes
         // the solver's own structural cache converge on one representative
@@ -186,8 +226,10 @@ impl CheckCtx {
         let a = self.solver.check_sat(&key);
         self.misses += 1;
         exo_obs::counter_add("check.cache_misses", 1);
-        exo_obs::counter_add("check.cache_entries", 1);
-        self.cache.insert(key, a);
+        if !chaos_armed {
+            exo_obs::counter_add("check.cache_entries", 1);
+            self.cache.insert(key, a);
+        }
         a
     }
 

@@ -11,6 +11,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use exo_core::budget::ResourceBudget;
 use exo_core::ir::{Expr, Proc, Stmt};
 use exo_core::Sym;
 
@@ -18,15 +19,32 @@ use crate::effexpr::{lift, EffExpr};
 
 /// Registry assigning one canonical symbol to each configuration field,
 /// so that `Config.field` can appear in formulas as an ordinary variable.
+///
+/// The registry is threaded by `&mut` through every `ValG` pass, so it
+/// also carries the [`ResourceBudget`] the dataflow draws from: each
+/// symbolic loop pass charges one fuel unit, and exhaustion degrades the
+/// affected fields to ⊥ (conservative — a rewrite whose safety depends on
+/// them is then rejected, never wrongly accepted).
 #[derive(Debug, Default)]
 pub struct GlobalReg {
     canon: HashMap<(Sym, Sym), (Sym, bool)>,
+    budget: ResourceBudget,
 }
 
 impl GlobalReg {
     /// Creates an empty registry.
     pub fn new() -> GlobalReg {
         GlobalReg::default()
+    }
+
+    /// Installs the budget the `ValG` fixpoint draws from.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget the `ValG` fixpoint draws from.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
     }
 
     /// Returns the canonical variable for `config.field` (created on
@@ -174,11 +192,26 @@ fn val_g_stmt(s: &Stmt, env: GlobalEnv, reg: &mut GlobalReg) -> GlobalEnv {
             // the loop-entry environment; any field whose value changes (or
             // depends on the iteration variable) becomes ⊥, others persist.
             exo_obs::counter_add("analysis.valg.loop_passes", 1);
+            // Budget: one fuel unit per symbolic loop pass. Exhaustion (and
+            // the chaos `analysis-bottom` fault) degrade every field the
+            // body touches to ⊥ — strictly less precise than the heuristic
+            // below, so downstream checks can only get *more* conservative.
+            let give_up = reg.budget.charge(1).is_err()
+                || exo_chaos::should_inject(exo_chaos::FaultSite::AnalysisBottom);
             let body_env = val_g_block(body, env.clone(), reg);
             let mut out = env;
             for &(c, f) in body_env.vals.keys().collect::<Vec<_>>() {
+                if give_up {
+                    exo_obs::counter_add("analysis.valg.bottomed", 1);
+                    out.set(c, f, EffExpr::Unknown);
+                    continue;
+                }
                 let before = out.value(c, f, reg);
-                let after = body_env.vals.get(&(c, f)).cloned().expect("key exists");
+                let after = body_env
+                    .vals
+                    .get(&(c, f))
+                    .cloned()
+                    .unwrap_or(EffExpr::Unknown);
                 let mut fv = std::collections::BTreeSet::new();
                 after.free_vars(&mut fv);
                 // paper heuristic: if an iteration leaves the field's value

@@ -28,6 +28,10 @@
 //! All conditions bottom out in Presburger validity queries discharged
 //! through [`SharedCheckCtx`]; an `Unknown` answer always fails safe.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bounds;
 pub mod check;
 pub mod conditions;

@@ -62,7 +62,7 @@ impl LocSet {
         }
         match out.len() {
             0 => LocSet::Empty,
-            1 => out.pop().expect("len checked"),
+            1 => out.pop().unwrap_or(LocSet::Empty),
             _ => LocSet::Union(out),
         }
     }

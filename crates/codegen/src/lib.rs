@@ -14,6 +14,10 @@
 //! precision-consistent (casts are inserted only at stores), and
 //! non-addressable memories may only be touched through instructions.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod emit;
 pub mod mem;
 

@@ -163,6 +163,10 @@ impl ProcBuilder {
     }
 
     fn cur(&mut self) -> &mut Block {
+        // The builder opens `Frame::Top` in `new` and only `finish`/`end_*`
+        // pop frames (with their own balance checks), so an empty stack is
+        // unreachable through the public API.
+        #[allow(clippy::expect_used)]
         match self.frames.last_mut().expect("builder has no open block") {
             Frame::Top(b) => b,
             Frame::For { body, .. } => body,

@@ -1,0 +1,171 @@
+//! The [`ExoError`] umbrella: one typed error surface for the whole
+//! compile→schedule→codegen pipeline.
+//!
+//! Each pipeline stage keeps its own concrete error type (`LexError`,
+//! `ParseError`, `PatternError`, `SchedError`, `InterpError`, …) so intra-
+//! crate matching stays precise; [`ExoError`] is the boundary type a host
+//! process sees, classifying every failure by [`ErrorKind`] and chaining the
+//! stage error through [`std::error::Error::source`]. Nothing in the library
+//! surface should cross a crate boundary as a panic — residual internal
+//! panics are caught at the `Procedure` operator dispatch and surfaced as
+//! [`ErrorKind::Internal`].
+
+use std::error::Error;
+use std::fmt;
+
+/// Coarse classification of a pipeline failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Tokenization failure in the front-end lexer.
+    Lex,
+    /// Grammar/indentation failure in the front-end parser.
+    Parse,
+    /// A scheduling pattern matched nothing, or matched ambiguously.
+    Pattern,
+    /// A safety/equivalence check rejected (or could not verify) a rewrite.
+    Check,
+    /// A fuel or wall-clock [`ResourceBudget`](crate::budget::ResourceBudget)
+    /// was exhausted; the operation degraded conservatively instead of
+    /// hanging.
+    Budget,
+    /// An internal invariant failed — including panics caught at the
+    /// operator-dispatch boundary. Always a bug in exo-rs, never user error.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase name (used in counters and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Lex => "lex",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Pattern => "pattern",
+            ErrorKind::Check => "check",
+            ErrorKind::Budget => "budget",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The umbrella error for the exo-rs library surface.
+#[derive(Debug)]
+pub struct ExoError {
+    kind: ErrorKind,
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl ExoError {
+    /// A new error of `kind` with a human-readable message.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ExoError {
+        ExoError {
+            kind,
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Attach the stage-level error this one wraps (exposed via `source()`).
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> ExoError {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Shorthand constructors, one per [`ErrorKind`].
+    pub fn lex(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Lex, message)
+    }
+    pub fn parse(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Parse, message)
+    }
+    pub fn pattern(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Pattern, message)
+    }
+    pub fn check(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Check, message)
+    }
+    pub fn budget(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Budget, message)
+    }
+    pub fn internal(message: impl Into<String>) -> ExoError {
+        ExoError::new(ErrorKind::Internal, message)
+    }
+
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+// `Display` prints `kind: message`; the full chain is reachable through
+// `source()` (e.g. with `anyhow`-style chain printers).
+impl fmt::Display for ExoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl Error for ExoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source
+            .as_ref()
+            .map(|s| s.as_ref() as &(dyn Error + 'static))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Stage(&'static str);
+    impl fmt::Display for Stage {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "stage: {}", self.0)
+        }
+    }
+    impl Error for Stage {}
+
+    #[test]
+    fn display_includes_kind() {
+        let e = ExoError::pattern("no statement matches `for k in _: _`");
+        assert_eq!(
+            e.to_string(),
+            "pattern: no statement matches `for k in _: _`"
+        );
+        assert_eq!(e.kind(), ErrorKind::Pattern);
+    }
+
+    #[test]
+    fn source_chain_is_preserved() {
+        let e = ExoError::check("rewrite rejected").with_source(Stage("qe budget exhausted"));
+        let src = e.source().expect("source attached");
+        assert_eq!(src.to_string(), "stage: qe budget exhausted");
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let kinds = [
+            ErrorKind::Lex,
+            ErrorKind::Parse,
+            ErrorKind::Pattern,
+            ErrorKind::Check,
+            ErrorKind::Budget,
+            ErrorKind::Internal,
+        ];
+        let names: Vec<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["lex", "parse", "pattern", "check", "budget", "internal"]
+        );
+    }
+}

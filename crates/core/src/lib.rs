@@ -19,7 +19,9 @@
 //!   separation, quasi-affinity);
 //! * [`path`] — stable statement addresses used by scheduling rewrites;
 //! * [`visit`] — traversal, substitution, renaming, alpha-equivalence;
-//! * [`printer`] — pretty-printing in the paper's surface syntax.
+//! * [`printer`] — pretty-printing in the paper's surface syntax;
+//! * [`error`] — the [`ExoError`] umbrella every stage error chains into;
+//! * [`budget`] — shared fuel/wall-clock [`ResourceBudget`] limits.
 //!
 //! Scheduling rewrites live in `exo-sched`, safety analyses in
 //! `exo-analysis`, code generation in `exo-codegen`.
@@ -51,8 +53,14 @@
 //! # Ok::<(), exo_core::check::TypeError>(())
 //! ```
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod budget;
 pub mod build;
 pub mod check;
+pub mod error;
 pub mod ir;
 pub mod path;
 pub mod printer;
@@ -60,6 +68,8 @@ pub mod sym;
 pub mod types;
 pub mod visit;
 
+pub use budget::{BudgetError, Resource, ResourceBudget};
+pub use error::{ErrorKind, ExoError};
 pub use ir::{
     ArgType, BinOp, Block, ConfigDecl, ConfigField, Expr, FnArg, InstrTemplate, Lit, Proc, Stmt,
     WAccess,

@@ -56,6 +56,10 @@ impl StmtPath {
     ///
     /// Panics if the path is empty.
     pub fn last(&self) -> PathStep {
+        // Documented API contract; construction sites all produce nonempty
+        // paths (`top`, `child`), so this is a programmer-error panic, not
+        // an input-reachable one.
+        #[allow(clippy::expect_used)]
         *self.0.last().expect("empty StmtPath")
     }
 

@@ -7,7 +7,7 @@
 //! and alpha-renaming safe during scheduling rewrites.
 
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// A globally unique, interned symbol.
 ///
@@ -38,7 +38,9 @@ fn table() -> &'static Mutex<SymTable> {
 impl Sym {
     /// Creates a fresh symbol with the given spelling.
     pub fn new(name: impl Into<String>) -> Sym {
-        let mut t = table().lock().expect("symbol table poisoned");
+        // The table is append-only, so a panic mid-push cannot leave it
+        // inconsistent; recover the guard instead of propagating poison.
+        let mut t = table().lock().unwrap_or_else(PoisonError::into_inner);
         let id = t.names.len() as u32;
         t.names.push(name.into());
         Sym(id)
@@ -54,7 +56,7 @@ impl Sym {
 
     /// Returns the spelling of this symbol.
     pub fn name(self) -> String {
-        let t = table().lock().expect("symbol table poisoned");
+        let t = table().lock().unwrap_or_else(PoisonError::into_inner);
         t.names[self.0 as usize].clone()
     }
 

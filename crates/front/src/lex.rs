@@ -83,18 +83,18 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
             continue;
         }
         let indent = no_comment.len() - no_comment.trim_start().len();
-        let current = *indents.last().expect("indent stack never empty");
+        let current = indents.last().copied().unwrap_or(0);
         match indent.cmp(&current) {
             std::cmp::Ordering::Greater => {
                 indents.push(indent);
                 toks.push((Tok::Indent, line_no));
             }
             std::cmp::Ordering::Less => {
-                while *indents.last().expect("nonempty") > indent {
+                while indents.last().copied().unwrap_or(0) > indent {
                     indents.pop();
                     toks.push((Tok::Dedent, line_no));
                 }
-                if *indents.last().expect("nonempty") != indent {
+                if indents.last().copied().unwrap_or(0) != indent {
                     return Err(LexError {
                         line: line_no,
                         message: "inconsistent indentation".into(),
@@ -117,7 +117,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, LexError> {
 
 fn lex_line(mut s: &str, line: usize, out: &mut Vec<(Tok, usize)>) -> Result<(), LexError> {
     'outer: while !s.is_empty() {
-        let c = s.chars().next().expect("nonempty");
+        let Some(c) = s.chars().next() else { break };
         if c.is_whitespace() {
             s = &s[c.len_utf8()..];
             continue;

@@ -8,6 +8,10 @@
 //! text syntax, which round-trips with `exo_core::printer` and keeps the
 //! examples legible.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod lex;
 pub mod parse;
 

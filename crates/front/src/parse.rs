@@ -213,10 +213,15 @@ impl Parser {
 
     fn bind_kind(&mut self, name: &str, is_data: bool) -> Sym {
         let s = Sym::new(name);
-        self.scopes
-            .last_mut()
-            .expect("scope open")
-            .insert(name.to_string(), (s, is_data));
+        // The parser keeps at least the proc-level scope open while
+        // binding; if a bug ever drains the stack, reopen one rather
+        // than abort mid-parse.
+        if self.scopes.is_empty() {
+            self.scopes.push(HashMap::new());
+        }
+        if let Some(scope) = self.scopes.last_mut() {
+            scope.insert(name.to_string(), (s, is_data));
+        }
         s
     }
 
@@ -542,13 +547,19 @@ impl Parser {
                 };
                 let rhs = self.parse_expr()?;
                 if coords.iter().all(|c| !c.is_interval()) {
+                    let line = self.line();
                     let idx: Vec<Expr> = coords
                         .into_iter()
                         .map(|c| match c {
-                            WAccess::Point(e) => e,
-                            WAccess::Interval(..) => unreachable!("checked above"),
+                            WAccess::Point(e) => Ok(e),
+                            WAccess::Interval(..) => Err(ParseError {
+                                line,
+                                message: "interval access not allowed on the left-hand \
+                                          side of an assignment"
+                                    .into(),
+                            }),
                         })
-                        .collect();
+                        .collect::<Result<_, _>>()?;
                     if reduce {
                         Ok(Stmt::Reduce { buf, idx, rhs })
                     } else {
@@ -792,13 +803,19 @@ impl Parser {
             if coords.iter().any(|c| c.is_interval()) {
                 return Ok(Expr::Window { buf, coords });
             }
+            let line = self.line();
             let idx = coords
                 .into_iter()
                 .map(|c| match c {
-                    WAccess::Point(e) => e,
-                    WAccess::Interval(..) => unreachable!("checked above"),
+                    WAccess::Point(e) => Ok(e),
+                    WAccess::Interval(..) => Err(ParseError {
+                        line,
+                        message: "mixed point/interval access: windows must be \
+                                  returned as Expr::Window"
+                            .into(),
+                    }),
                 })
-                .collect();
+                .collect::<Result<Vec<_>, ParseError>>()?;
             return Ok(Expr::Read { buf, idx });
         }
         // bare name: a control variable, a data scalar, or a whole

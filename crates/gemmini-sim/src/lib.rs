@@ -25,8 +25,13 @@
 //!   hardware at extra area/power — it should outperform even the best
 //!   software schedule, as in Fig. 4.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::collections::HashMap;
 
+use exo_core::budget::ResourceBudget;
 #[cfg(test)]
 use exo_interp::TraceArg;
 use exo_interp::{HwOp, TensorRef};
@@ -138,6 +143,7 @@ pub struct Simulator {
     instructions: u64,
     flushes: u64,
     bytes_moved: u64,
+    budget: ResourceBudget,
 }
 
 impl Simulator {
@@ -156,13 +162,29 @@ impl Simulator {
             instructions: 0,
             flushes: 0,
             bytes_moved: 0,
+            budget: ResourceBudget::unlimited(),
         }
+    }
+
+    /// Installs a fuel/deadline pool on the instruction loop (one unit per
+    /// trace instruction). Exhaustion stops simulation early and marks the
+    /// report [`SimReport::truncated`] instead of hanging on a runaway
+    /// trace.
+    pub fn with_budget(mut self, budget: ResourceBudget) -> Simulator {
+        self.budget = budget;
+        self
     }
 
     /// Runs a full instruction trace and produces the report.
     pub fn run(mut self, trace: &[HwOp]) -> SimReport {
         let span = exo_obs::Span::enter("gemmini_sim.run");
+        let mut truncated = false;
         for op in trace {
+            if self.budget.charge(1).is_err() {
+                exo_obs::counter_add("gemmini_sim.budget_stops", 1);
+                truncated = true;
+                break;
+            }
             self.step(op);
         }
         let cycles = self.finish.max(self.cpu_time).max(1);
@@ -179,6 +201,7 @@ impl Simulator {
             instructions: self.instructions,
             flushes: self.flushes,
             bytes_moved: self.bytes_moved,
+            truncated,
             busy: self
                 .unit_busy
                 .iter()

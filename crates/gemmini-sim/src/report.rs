@@ -28,6 +28,10 @@ pub struct SimReport {
     pub flushes: u64,
     /// DMA bytes moved.
     pub bytes_moved: u64,
+    /// `true` when a `ResourceBudget` stopped the run before the trace was
+    /// fully consumed — the counts above cover only the simulated prefix
+    /// and must not be compared against complete runs.
+    pub truncated: bool,
     /// Per-unit busy cycles.
     pub busy: Vec<UnitBusy>,
 }
@@ -55,6 +59,7 @@ impl SimReport {
             ("instructions".into(), Json::uint(self.instructions)),
             ("flushes".into(), Json::uint(self.flushes)),
             ("bytes_moved".into(), Json::uint(self.bytes_moved)),
+            ("truncated".into(), Json::Bool(self.truncated)),
             (
                 "busy".into(),
                 Json::obj(
@@ -80,6 +85,7 @@ mod tests {
             instructions: 12,
             flushes: 1,
             bytes_moved: 2048,
+            truncated: false,
             busy: vec![
                 UnitBusy {
                     unit: Unit::Store,

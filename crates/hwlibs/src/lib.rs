@@ -9,6 +9,10 @@
 //! Adding a new accelerator to exo-rs means writing another module like
 //! [`gemmini`] or [`avx512`]; the compiler crates are never touched.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod avx512;
 pub mod gemmini;
 

@@ -18,6 +18,10 @@
 //! accesses, uses of uninitialized memory, reads of unset configuration
 //! state, and violated assertions all raise [`machine::InterpError`].
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod machine;
 pub mod trace;
 pub mod value;

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use exo_core::budget::ResourceBudget;
 use exo_core::ir::{ArgType, BinOp, Block, Expr, Lit, Proc, Stmt, WAccess};
 use exo_core::types::{DataType, MemName};
 use exo_core::Sym;
@@ -24,6 +25,10 @@ use crate::value::{cast, BufId, BufferData, CtrlVal, WinDim, WindowVal};
 pub struct InterpError {
     /// Human-readable description.
     pub message: String,
+    /// `true` when execution stopped because the machine's
+    /// [`ResourceBudget`] ran out (fuel or deadline), as opposed to a
+    /// semantic error in the program.
+    pub budget_exhausted: bool,
 }
 
 impl fmt::Display for InterpError {
@@ -37,6 +42,7 @@ impl std::error::Error for InterpError {}
 fn err<T>(message: impl Into<String>) -> Result<T, InterpError> {
     Err(InterpError {
         message: message.into(),
+        budget_exhausted: false,
     })
 }
 
@@ -68,6 +74,8 @@ pub struct Machine {
     pub execute_instr_bodies: bool,
     /// Executed leaf-statement counter.
     steps: u64,
+    /// Fuel/deadline pool the step loop draws from (unlimited by default).
+    budget: ResourceBudget,
 }
 
 impl Machine {
@@ -79,7 +87,21 @@ impl Machine {
             trace: Vec::new(),
             execute_instr_bodies: true,
             steps: 0,
+            budget: ResourceBudget::unlimited(),
         }
+    }
+
+    /// Installs the fuel/deadline pool the step loop draws from. Each
+    /// executed statement charges one unit; exhaustion stops the run with a
+    /// typed budget error (`InterpError::budget_exhausted`) instead of
+    /// letting a runaway loop hang the host.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.budget = budget;
+    }
+
+    /// The budget the step loop draws from.
+    pub fn budget(&self) -> &ResourceBudget {
+        &self.budget
     }
 
     /// Allocates an external buffer initialized with `data` (row-major).
@@ -130,6 +152,7 @@ impl Machine {
             .map(|v| {
                 v.ok_or_else(|| InterpError {
                     message: "uninitialized element".into(),
+                    budget_exhausted: false,
                 })
             })
             .collect()
@@ -288,6 +311,27 @@ impl Machine {
         shadow: &mut Vec<(Sym, Option<Slot>)>,
     ) -> Result<(), InterpError> {
         self.steps += 1;
+        // One fuel unit per executed statement; the chaos `interp-fuel`
+        // fault pretends the pool just ran dry. Either way the run stops
+        // with a typed budget error — a mis-scheduled kernel can make the
+        // interpreter slow, but never make it hang.
+        if let Err(e) = self.budget.charge(1) {
+            exo_obs::counter_add("interp.budget_stops", 1);
+            return Err(InterpError {
+                message: format!("interpreter stopped after {} steps: {}", self.steps, e),
+                budget_exhausted: true,
+            });
+        }
+        if exo_chaos::should_inject(exo_chaos::FaultSite::InterpFuel) {
+            exo_obs::counter_add("interp.budget_stops", 1);
+            return Err(InterpError {
+                message: format!(
+                    "interpreter stopped after {} steps: fuel budget exhausted (chaos)",
+                    self.steps
+                ),
+                budget_exhausted: true,
+            });
+        }
         match s {
             Stmt::Pass => Ok(()),
             Stmt::Assign { buf, idx, rhs } => {
@@ -441,15 +485,18 @@ impl Machine {
             .to_buffer_coords(&coords, rank)
             .ok_or_else(|| InterpError {
                 message: format!("out-of-bounds store to {buf} at {coords:?}"),
+                budget_exhausted: false,
             })?;
         let data = &mut self.bufs[view.buf.0];
         let off = data.offset(&bcoords).ok_or_else(|| InterpError {
             message: format!("out-of-bounds store to {buf} at {bcoords:?}"),
+            budget_exhausted: false,
         })?;
         let dtype = data.dtype;
         let new = if reduce {
             let old = data.data[off].ok_or_else(|| InterpError {
                 message: format!("reduction into uninitialized location of {buf}"),
+                budget_exhausted: false,
             })?;
             cast(dtype, old + value)
         } else {
@@ -518,6 +565,7 @@ impl Machine {
                         config.name(),
                         field.name()
                     ),
+                    budget_exhausted: false,
                 }),
             _ => err("data expression in control position"),
         }
@@ -608,13 +656,16 @@ impl Machine {
                     .to_buffer_coords(&coords, rank)
                     .ok_or_else(|| InterpError {
                         message: format!("out-of-bounds read of {buf} at {coords:?}"),
+                        budget_exhausted: false,
                     })?;
                 let data = &self.bufs[view.buf.0];
                 let off = data.offset(&bcoords).ok_or_else(|| InterpError {
                     message: format!("out-of-bounds read of {buf} at {bcoords:?}"),
+                    budget_exhausted: false,
                 })?;
                 data.data[off].ok_or_else(|| InterpError {
                     message: format!("read of uninitialized {buf}[{coords:?}]"),
+                    budget_exhausted: false,
                 })
             }
             Expr::BinOp(op, a, b) => {

@@ -184,11 +184,21 @@ pub fn schedule_conv(
         .reorder("for oxo in _: _", "ico")?;
     // now: b oy ky kx ico oxo oco oxi oci ici
 
-    let b_sym = p.iter_sym("b").expect("b");
-    let oy = p.iter_sym("oy").expect("oy");
-    let ky = p.iter_sym("ky").expect("ky");
-    let kx = p.iter_sym("kx").expect("kx");
-    let ico = p.iter_sym("ico").expect("ico");
+    let b_sym = p
+        .iter_sym("b")
+        .ok_or_else(|| SchedError::new("iterator `b` missing after tiling"))?;
+    let oy = p
+        .iter_sym("oy")
+        .ok_or_else(|| SchedError::new("iterator `oy` missing after tiling"))?;
+    let ky = p
+        .iter_sym("ky")
+        .ok_or_else(|| SchedError::new("iterator `ky` missing after tiling"))?;
+    let kx = p
+        .iter_sym("kx")
+        .ok_or_else(|| SchedError::new("iterator `kx` missing after tiling"))?;
+    let ico = p
+        .iter_sym("ico")
+        .ok_or_else(|| SchedError::new("iterator `ico` missing after tiling"))?;
 
     // ---- staging ----
     // one output row resident in the accumulator per (b, oy): stage at
@@ -248,9 +258,15 @@ pub fn schedule_conv(
     let p = p.simplify(); // collapse the unit dimensions' loops
 
     // ---- configuration, hoisted to the top ----
-    let in_sym = p.lookup_data_sym("In").expect("In");
-    let w_sym = p.lookup_data_sym("W").expect("W");
-    let c_sym = p.lookup_data_sym("C").expect("C");
+    let in_sym = p
+        .lookup_data_sym("In")
+        .ok_or_else(|| SchedError::new("data symbol `In` missing from procedure"))?;
+    let w_sym = p
+        .lookup_data_sym("W")
+        .ok_or_else(|| SchedError::new("data symbol `W` missing from procedure"))?;
+    let c_sym = p
+        .lookup_data_sym("C")
+        .ok_or_else(|| SchedError::new("data symbol `C` missing from procedure"))?;
     let first_pat = "for b in _: _";
     let p = p
         .configwrite_at(
@@ -321,6 +337,12 @@ pub fn schedule_conv(
 }
 
 /// Runs the scheduled conv and returns its instruction trace.
+///
+/// # Panics
+///
+/// Panics if the scheduled procedure fails to interpret — a schedule
+/// accepted by the safety checks must also run, so this is a bug.
+#[allow(clippy::expect_used)]
 pub fn trace_conv(proc: &Proc, s: &ConvShape, functional: bool) -> Vec<HwOp> {
     let mut machine = Machine::new();
     machine.execute_instr_bodies = functional;

@@ -73,8 +73,12 @@ pub fn schedule_matmul(
         // output-stationary: ko outside jo
         .reorder("for jo in _: _", "ko")?;
 
-    let io = p.iter_sym("io").expect("io exists");
-    let ko = p.iter_sym("ko").expect("ko exists");
+    let io = p
+        .iter_sym("io")
+        .ok_or_else(|| SchedError::new("iterator `io` missing after tiling"))?;
+    let ko = p
+        .iter_sym("ko")
+        .ok_or_else(|| SchedError::new("iterator `ko` missing after tiling"))?;
     let b_resident = k * m <= B_RESIDENT_LIMIT;
 
     // ---- staging (the §2.2 rewrites) ----
@@ -136,9 +140,15 @@ pub fn schedule_matmul(
     )?;
 
     // ---- configuration (the §2.4 rewrites) ----
-    let a_sym = p.lookup_data_sym("A").expect("A exists");
-    let b_sym = p.lookup_data_sym("B").expect("B exists");
-    let c_sym = p.lookup_data_sym("C").expect("C exists");
+    let a_sym = p
+        .lookup_data_sym("A")
+        .ok_or_else(|| SchedError::new("data symbol `A` missing from procedure"))?;
+    let b_sym = p
+        .lookup_data_sym("B")
+        .ok_or_else(|| SchedError::new("data symbol `B` missing from procedure"))?;
+    let c_sym = p
+        .lookup_data_sym("C")
+        .ok_or_else(|| SchedError::new("data symbol `C` missing from procedure"))?;
     // the configuration writes go before the first statement of the body
     // (the b_s alloc when B is resident at top level, the io loop otherwise)
     let first_pat = if b_resident {
@@ -231,6 +241,12 @@ pub fn schedule_matmul(
 /// Runs the scheduled kernel on the interpreter and returns the
 /// instruction trace. When `functional` is false, instruction bodies are
 /// skipped — traces for timing only (the buffers stay uninitialized).
+///
+/// # Panics
+///
+/// Panics if the scheduled procedure fails to interpret — a schedule
+/// accepted by the safety checks must also run, so this is a bug.
+#[allow(clippy::expect_used)]
 pub fn trace_matmul(proc: &Proc, n: i64, m: i64, k: i64, functional: bool) -> Vec<HwOp> {
     let mut machine = Machine::new();
     machine.execute_instr_bodies = functional;

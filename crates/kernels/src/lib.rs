@@ -5,6 +5,10 @@
 //! hardware libraries, and the baseline models they are compared
 //! against.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod gemmini_conv;
 pub mod gemmini_gemm;
 pub mod x86_conv;

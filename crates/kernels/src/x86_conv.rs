@@ -63,13 +63,27 @@ pub fn schedule_conv_avx512(
         .reorder("for ocl in _: _", "ic")?
         .reorder("for oxi in _: _", "ic")?;
 
-    let b_sym = p.iter_sym("b").expect("b");
-    let oy = p.iter_sym("oy").expect("oy");
-    let oxo = p.iter_sym("oxo").expect("oxo");
-    let oco = p.iter_sym("oco").expect("oco");
-    let ky = p.iter_sym("ky").expect("ky");
-    let kx = p.iter_sym("kx").expect("kx");
-    let ic = p.iter_sym("ic").expect("ic");
+    let b_sym = p
+        .iter_sym("b")
+        .ok_or_else(|| SchedError::new("iterator `b` missing after tiling"))?;
+    let oy = p
+        .iter_sym("oy")
+        .ok_or_else(|| SchedError::new("iterator `oy` missing after tiling"))?;
+    let oxo = p
+        .iter_sym("oxo")
+        .ok_or_else(|| SchedError::new("iterator `oxo` missing after tiling"))?;
+    let oco = p
+        .iter_sym("oco")
+        .ok_or_else(|| SchedError::new("iterator `oco` missing after tiling"))?;
+    let ky = p
+        .iter_sym("ky")
+        .ok_or_else(|| SchedError::new("iterator `ky` missing after tiling"))?;
+    let kx = p
+        .iter_sym("kx")
+        .ok_or_else(|| SchedError::new("iterator `kx` missing after tiling"))?;
+    let ic = p
+        .iter_sym("ic")
+        .ok_or_else(|| SchedError::new("iterator `ic` missing after tiling"))?;
 
     let unit = |e: Expr| (e.clone(), e.add(Expr::int(1)));
 

@@ -66,9 +66,15 @@ pub fn schedule_sgemm(
         .reorder("for ji in _: _", "k")?
         .reorder("for ii in _: _", "k")?;
 
-    let io = p.iter_sym("io").expect("io");
-    let jo = p.iter_sym("jo").expect("jo");
-    let k_sym = p.iter_sym("k").expect("k");
+    let io = p
+        .iter_sym("io")
+        .ok_or_else(|| SchedError::new("iterator `io` missing after tiling"))?;
+    let jo = p
+        .iter_sym("jo")
+        .ok_or_else(|| SchedError::new("iterator `jo` missing after tiling"))?;
+    let k_sym = p
+        .iter_sym("k")
+        .ok_or_else(|| SchedError::new("iterator `k` missing after tiling"))?;
 
     // ---- stage the C tile into vector registers across the k loop ----
     let p = p.stage_mem(
@@ -268,7 +274,8 @@ pub fn microkernel_profile_matches(
 ) -> Result<bool, SchedError> {
     let (m, n, k) = (mr * 2, nr * 2, 8);
     let p = schedule_sgemm(lib, state, m, n, k, mr, nr)?;
-    let got = profile_proc(p.proc()).expect("constant bounds");
+    let got = profile_proc(p.proc())
+        .ok_or_else(|| SchedError::new("microkernel has non-constant bounds; cannot profile"))?;
     let tiles = ((m / mr) * (n / nr)) as u64;
     let vecs = (nr / 16) as u64;
     let expect_fmas = tiles * (mr as u64) * vecs * (k as u64);

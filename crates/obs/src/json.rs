@@ -277,7 +277,12 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
             _ => break,
         }
     }
-    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+    // The matched bytes are all ASCII, but degrade to a parse error rather
+    // than assert it.
+    let text = match std::str::from_utf8(&b[start..*pos]) {
+        Ok(t) => t,
+        Err(_) => return err(start, "bad number".to_string()),
+    };
     if is_float {
         match text.parse::<f64>() {
             Ok(v) => Ok(Json::Float(v)),
@@ -338,7 +343,12 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     pos: *pos,
                     message: "invalid utf-8".into(),
                 })?;
-                let c = rest.chars().next().expect("non-empty");
+                let c = match rest.chars().next() {
+                    // `Some(_)` above guarantees at least one byte, but a
+                    // parse error beats a panic on a malformed line.
+                    Some(c) => c,
+                    None => return err(*pos, "unterminated string"),
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -24,6 +24,10 @@
 //! as machine-readable JSON lines (one object per line), the format the
 //! `BENCH_*.json` trajectory files use.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod json;
 pub mod provenance;
 pub mod registry;

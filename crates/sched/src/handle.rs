@@ -8,7 +8,7 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use exo_obs::{ProvenanceEvent, Verdict};
@@ -16,6 +16,7 @@ use exo_obs::{ProvenanceEvent, Verdict};
 use exo_analysis::context::{site_ctx, SiteCtx};
 use exo_analysis::globals::GlobalReg;
 use exo_analysis::SharedCheckCtx;
+use exo_core::budget::ResourceBudget;
 use exo_core::ir::Proc;
 use exo_core::path::{replace_at, stmt_at, StmtPath};
 use exo_core::{Block, Stmt, Sym};
@@ -40,7 +41,10 @@ pub struct SchedError {
 }
 
 impl SchedError {
-    pub(crate) fn new(message: impl Into<String>) -> SchedError {
+    /// A free-form scheduling error. Public so that code *driving* the
+    /// scheduler (kernel builders, tests) can fail with a typed error
+    /// instead of panicking.
+    pub fn new(message: impl Into<String>) -> SchedError {
         SchedError {
             message: message.into(),
             op: None,
@@ -49,7 +53,8 @@ impl SchedError {
         }
     }
 
-    pub(crate) fn with_source(
+    /// Attaches an underlying cause, preserved through [`std::error::Error::source`].
+    pub fn with_source(
         mut self,
         source: impl std::error::Error + Send + Sync + 'static,
     ) -> SchedError {
@@ -107,6 +112,17 @@ pub(crate) fn serr<T>(message: impl Into<String>) -> Result<T, SchedError> {
     Err(SchedError::new(message))
 }
 
+/// Locks the scheduling state, recovering from poisoning.
+///
+/// `SchedState` is only ever mutated through operators that are
+/// transactional by construction (a failed or panicking rewrite leaves the
+/// `Procedure` untouched and the state holds only monotonic caches), so a
+/// panic that poisoned the mutex left no half-applied update behind and the
+/// guard can be taken over safely.
+pub(crate) fn lock_state(state: &StateRef) -> MutexGuard<'_, SchedState> {
+    state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Shared scheduling state: the checking context (solver + canonical
 /// verdict cache + effect memo), the global registry, and the provenance
 /// store tracking which procedures are equivalent modulo which
@@ -124,6 +140,10 @@ pub struct SchedState {
     pub check: SharedCheckCtx,
     /// Canonical names for configuration fields.
     pub reg: GlobalReg,
+    /// Fuel/deadline pool scheduling draws from: one unit per operator,
+    /// one per solver query, one per symbolic loop pass. Unlimited by
+    /// default; see [`SchedState::set_budget`].
+    pub budget: ResourceBudget,
     next_class: usize,
 }
 
@@ -133,6 +153,7 @@ impl SchedState {
         SchedState {
             check,
             reg: GlobalReg::default(),
+            budget: ResourceBudget::unlimited(),
             next_class: 0,
         }
     }
@@ -141,6 +162,17 @@ impl SchedState {
     /// `EXO_CHECK_CACHE`. Useful for measuring cache behaviour.
     pub fn isolated() -> SchedState {
         SchedState::with_check(SharedCheckCtx::fresh())
+    }
+
+    /// Installs one shared fuel/deadline pool across everything this state
+    /// drives: operator dispatch, the checking context's solver queries,
+    /// and the `ValG` effect-analysis fixpoint. Exhaustion anywhere
+    /// degrades to conservative rejection (`Unknown`), never a hang and
+    /// never an unsound accept.
+    pub fn set_budget(&mut self, budget: ResourceBudget) {
+        self.check.lock().set_budget(budget.clone());
+        self.reg.set_budget(budget.clone());
+        self.budget = budget;
     }
 }
 
@@ -183,7 +215,7 @@ impl Procedure {
     /// caches and canonical global names are reused).
     pub fn with_state(proc: Arc<Proc>, state: StateRef) -> Procedure {
         let class = {
-            let mut st = state.lock().expect("scheduler state poisoned");
+            let mut st = lock_state(&state);
             st.next_class += 1;
             st.next_class
         };
@@ -211,6 +243,13 @@ impl Procedure {
     /// The shared scheduling state.
     pub fn state(&self) -> &StateRef {
         &self.state
+    }
+
+    /// Installs a fuel/deadline budget on the shared scheduling state (see
+    /// [`SchedState::set_budget`]). Affects every procedure sharing the
+    /// state, from the next operator onward.
+    pub fn set_budget(&self, budget: ResourceBudget) {
+        lock_state(&self.state).set_budget(budget);
     }
 
     /// Number of scheduling directives applied so far.
@@ -357,20 +396,32 @@ impl Procedure {
     ) -> Result<Procedure, SchedError> {
         let target = target.into();
         let pre_stmts = self.stmt_count();
-        let pre_queries = self
-            .state
-            .lock()
-            .expect("scheduler state poisoned")
-            .check
-            .stats()
-            .queries;
+        let (pre_queries, budget) = {
+            let st = lock_state(&self.state);
+            (st.check.stats().queries, st.budget.clone())
+        };
         let start = Instant::now();
-        let result = f();
+        // One fuel unit per operator; an exhausted budget rejects the
+        // rewrite up front (conservative, transactional) instead of
+        // starting work it cannot finish.
+        let result = if let Err(e) = budget.charge(1) {
+            exo_obs::counter_add("sched.budget_rejected", 1);
+            Err(SchedError::new(format!("schedule budget exhausted: {e}")).with_source(e))
+        } else {
+            // Residual internal panics must not cross the library boundary:
+            // catch them here and surface a typed `SchedError` naming the
+            // operator and target. `self` is untouched (operators derive new
+            // `Procedure`s from persistent `Arc`s), and `SchedState` holds
+            // only monotonic caches, so unwinding mid-operator leaves every
+            // pre-rewrite handle fully usable — the chain is transactional.
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|payload| {
+                let msg = Self::panic_message(payload.as_ref());
+                exo_obs::counter_add("sched.panic_caught", 1);
+                Err(SchedError::new(format!("internal panic: {msg}")))
+            })
+        };
         let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let smt_queries = self
-            .state
-            .lock()
-            .expect("scheduler state poisoned")
+        let smt_queries = lock_state(&self.state)
             .check
             .stats()
             .queries
@@ -414,6 +465,18 @@ impl Procedure {
         }
     }
 
+    /// Best-effort rendering of a caught panic payload (`panic!` with a
+    /// string literal or format string covers essentially all of std).
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        }
+    }
+
     /// Records additional pollution on a derived procedure.
     pub(crate) fn pollute(mut self, fields: impl IntoIterator<Item = (Sym, Sym)>) -> Procedure {
         self.polluted.extend(fields);
@@ -422,7 +485,7 @@ impl Procedure {
 
     /// Builds the [`SiteCtx`] for a path.
     pub(crate) fn site(&self, path: &StmtPath) -> Result<SiteCtx, SchedError> {
-        let mut st = self.state.lock().expect("scheduler state poisoned");
+        let mut st = lock_state(&self.state);
         site_ctx(&self.proc, path, &mut st.reg)
             .ok_or_else(|| SchedError::new(format!("invalid statement path {path}")))
     }
@@ -435,7 +498,7 @@ impl Procedure {
         condition: Formula,
         what: &str,
     ) -> Result<(), SchedError> {
-        let st = self.state.lock().expect("scheduler state poisoned");
+        let st = lock_state(&self.state);
         let goal = hyp.implies(condition);
         match st.check.check_valid(&goal) {
             Answer::Yes => Ok(()),
@@ -483,7 +546,7 @@ mod tests {
         let orig_for = p.find(&Pattern::from("for i in _: _")).unwrap();
         match p.stmt(&orig_for).unwrap() {
             Stmt::For { body, .. } => assert_eq!(body.len(), 1),
-            _ => panic!(),
+            other => panic!("original `for i` should survive the splice unchanged, got {other:?}"),
         }
     }
 

@@ -23,6 +23,10 @@
 //! provenance, and the context-extension rule (§6.2) is used to confirm
 //! that the rest of the procedure never observes the difference.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod fold;
 pub mod handle;
 pub mod ops_calls;

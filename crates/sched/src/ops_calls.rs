@@ -125,7 +125,7 @@ impl Procedure {
         let rewritten = self.splice(&path, &mut |_| vec![new_stmt.clone()])?;
         if !polluted.is_empty() {
             let ok = {
-                let mut st = self.state().lock().expect("scheduler state poisoned");
+                let mut st = crate::handle::lock_state(self.state());
                 let st = &mut *st;
                 exo_analysis::context::context_extension_ok(
                     rewritten.proc(),

@@ -122,10 +122,13 @@ impl Procedure {
         let write_path = if before {
             path.clone()
         } else {
-            path.sibling(1).expect("idx+1")
+            match path.sibling(1) {
+                Some(p) => p,
+                None => return serr("configwrite: target path has no successor slot"),
+            }
         };
         let ok = {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let st = &mut *st;
             context_extension_ok(
                 rewritten.proc(),
@@ -255,7 +258,7 @@ impl Procedure {
         });
         let rewritten = self.splice(&path, &mut |_| vec![write.clone(), replaced.clone()])?;
         let ok = {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let st = &mut *st;
             context_extension_ok(
                 rewritten.proc(),
@@ -295,7 +298,7 @@ impl Procedure {
         };
         let site = self.site(&path)?;
         {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let current = site.genv.value(config, field, &mut st.reg);
             let new = lift_in_env(&rhs, &site.genv, &mut st.reg);
             let mut lctx = LowerCtx::new();
@@ -342,7 +345,7 @@ impl Procedure {
         }
 
         let site = self.site(&p1)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let mut ck = st.check.lock();
         let e1 = effect_of_stmts_cached(
@@ -404,7 +407,7 @@ impl Procedure {
             return serr("shadow_delete: cannot delete a binding statement");
         }
         let site = self.site(&p1)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let mut ck = st.check.lock();
         let e1 = effect_of_stmts_cached(

@@ -605,7 +605,7 @@ impl Procedure {
             let scope = path
                 .parent()
                 .unwrap_or_else(|| exo_core::path::StmtPath(Vec::new()));
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let st = &mut *st;
             if let Err(errs) =
                 exo_analysis::check_bounds_at(staged.proc(), &scope, &mut st.reg, &st.check)

@@ -62,7 +62,7 @@ impl Procedure {
         // divisibility: D(hi mod c == 0) under the site assumptions
         let site = self.site(&path)?;
         {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
             let mut lctx = LowerCtx::new();
             let hyp = Formula::and(vec![site.assumptions(&mut lctx), lctx.assumptions()]);
@@ -219,7 +219,7 @@ impl Procedure {
         }
 
         let site = self.site(&path)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let xlo_e = lift_in_env(&xlo, &site.genv, &mut st.reg);
         let xhi_e = lift_in_env(&xhi, &site.genv, &mut st.reg);
@@ -325,7 +325,7 @@ impl Procedure {
         }
 
         let site = self.site(&loop_path)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
@@ -411,7 +411,7 @@ impl Procedure {
         let b2r = subst_block(&b2, &map);
 
         let site = self.site(&path1)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let lo_e = lift_in_env(&lo1, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi1, &site.genv, &mut st.reg);
@@ -477,7 +477,7 @@ impl Procedure {
         // provable lo + c ≤ hi
         let site = self.site(&path)?;
         {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let mid_e = lift_in_env(&mid, &site.genv, &mut st.reg);
             let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
             let mut lctx = LowerCtx::new();
@@ -523,7 +523,7 @@ impl Procedure {
             return serr("remove_loop: iteration variable is used in the body");
         }
         let site = self.site(&path)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let lo_e = lift_in_env(&lo, &site.genv, &mut st.reg);
         let hi_e = lift_in_env(&hi, &site.genv, &mut st.reg);
@@ -579,7 +579,7 @@ impl Procedure {
         }
         // the condition's (config) reads must commute with the body
         let site = self.site(&loop_path)?;
-        let mut guard = self.state().lock().expect("scheduler state poisoned");
+        let mut guard = crate::handle::lock_state(self.state());
         let st = &mut *guard;
         let whole_eff = effect_of_stmts_cached(
             self.proc(),
@@ -638,7 +638,7 @@ impl Procedure {
         let path = self.find(stmt_pat)?;
         let site = self.site(&path)?;
         {
-            let mut st = self.state().lock().expect("scheduler state poisoned");
+            let mut st = crate::handle::lock_state(self.state());
             let c_e = lift_in_env(&cond, &site.genv, &mut st.reg);
             let mut lctx = LowerCtx::new();
             let goal = lctx.lower_bool(&c_e).definitely();
@@ -658,10 +658,13 @@ impl Procedure {
     /// `simplify()`: folds constants throughout the body (always
     /// equivalence-preserving).
     pub fn simplify(&self) -> Procedure {
+        // Constant folding cannot fail, but dispatch can reject it (e.g. an
+        // exhausted schedule budget); returning the procedure unsimplified
+        // is the conservative answer in that case.
         self.instrumented("simplify", "", || {
             Ok(self.with_body(fold_block(self.body())))
         })
-        .expect("simplify is infallible")
+        .unwrap_or_else(|_| self.clone())
     }
 }
 

@@ -234,6 +234,24 @@ impl ParsedPattern {
     ///
     /// Fails if there are not enough matches.
     pub fn find(&self, body: &Block) -> Result<StmtPath, PatternError> {
+        // Chaos injection: pretend resolution failed — either nothing
+        // matched, or several statements did and no index disambiguates.
+        // Both are ordinary user-visible outcomes (a failed pattern rejects
+        // the operator and leaves the procedure untouched), which is exactly
+        // the fail-safe path the harness wants to exercise.
+        if exo_chaos::should_inject(exo_chaos::FaultSite::PatternNoMatch) {
+            return perr(format!(
+                "pattern {:?} matched no statement (chaos-injected no-match)",
+                self.kind
+            ));
+        }
+        if exo_chaos::should_inject(exo_chaos::FaultSite::PatternAmbiguous) {
+            return perr(format!(
+                "pattern {:?} is ambiguous: multiple matches and no index \
+                 selects one (chaos-injected ambiguity)",
+                self.kind
+            ));
+        }
         let mut hits = Vec::new();
         visit_paths(body, |p, s| {
             if self.matches(s) {

@@ -83,7 +83,9 @@ impl Procedure {
         // gather the n consecutive sibling statements
         let mut caller_stmts = Vec::with_capacity(n);
         for k in 0..n {
-            let p = first.sibling(k as isize).expect("sibling is non-negative");
+            let Some(p) = first.sibling(k as isize) else {
+                return serr("replace: match window fell off the enclosing block");
+            };
             caller_stmts.push(
                 self.stmt(&p)
                     .map_err(|_| {
@@ -467,7 +469,7 @@ impl Procedure {
         // bound vars to caller symbols, leave unknowns in place
         let mut lowered: Vec<LinExpr> = Vec::new();
         {
-            let mut guard = self.state().lock().expect("scheduler state poisoned");
+            let mut guard = crate::handle::lock_state(self.state());
             for (cl, pl) in &st.equations {
                 let cl_e = lift_in_env(cl, &site.genv, &mut guard.reg).subst(
                     &st.alpha
@@ -556,7 +558,7 @@ impl Procedure {
 
         // boolean (non-integer) equivalences
         {
-            let mut guard = self.state().lock().expect("scheduler state poisoned");
+            let mut guard = crate::handle::lock_state(self.state());
             for (cb, pb) in &st.bool_checks {
                 let alpha_map: HashMap<Sym, EffExpr> = st
                     .alpha
@@ -578,7 +580,7 @@ impl Procedure {
 
         // callee preconditions, with formals substituted
         {
-            let mut guard = self.state().lock().expect("scheduler state poisoned");
+            let mut guard = crate::handle::lock_state(self.state());
             for pred in &callee.preds {
                 let lifted = lift_in_env(pred, &site.genv, &mut guard.reg);
                 let lifted = subst_pred(&lifted, &solution, &st);
@@ -595,12 +597,17 @@ impl Procedure {
 
         // build the call arguments
         let mut args = Vec::with_capacity(callee.args.len());
-        let guard = self.state().lock().expect("scheduler state poisoned");
+        let guard = crate::handle::lock_state(self.state());
         let reg = &guard.reg;
         for arg in &callee.args {
             match &arg.ty {
                 ArgType::Ctrl(_) => {
-                    let sol = solution.get(&arg.name).expect("checked above");
+                    let Some(sol) = solution.get(&arg.name) else {
+                        return serr(format!(
+                            "replace: no solution for control argument {}",
+                            arg.name
+                        ));
+                    };
                     args.push(expr_of_lin_ctx(sol, &lctx, reg));
                 }
                 ArgType::Scalar { .. } | ArgType::Tensor { .. } => {
@@ -677,7 +684,9 @@ impl Procedure {
         // splice: the first statement becomes the call; delete the rest
         let mut p = self.splice(first, &mut |_| vec![call.clone()])?;
         for _ in 1..n {
-            let next = first.sibling(1).expect("non-negative");
+            let Some(next) = first.sibling(1) else {
+                return serr("replace: match window fell off the enclosing block");
+            };
             p = p.splice(&next, &mut |_| vec![])?;
         }
         Ok(p)

@@ -31,10 +31,11 @@ use crate::linear::LinExpr;
 /// two different queries structurally comparable.
 fn pool_sym(n: usize) -> Sym {
     static POOL: OnceLock<Mutex<Vec<Sym>>> = OnceLock::new();
+    // The pool is append-only, so a poisoned guard is still consistent.
     let mut pool = POOL
         .get_or_init(|| Mutex::new(Vec::new()))
         .lock()
-        .expect("canonical sym pool poisoned");
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     while pool.len() <= n {
         let i = pool.len();
         pool.push(Sym::new(format!("$c{i}")));

@@ -117,7 +117,7 @@ impl Formula {
         }
         match out.len() {
             0 => Formula::True,
-            1 => out.pop().expect("len checked"),
+            1 => out.pop().unwrap_or(Formula::True),
             _ => Formula::And(out),
         }
     }
@@ -136,7 +136,7 @@ impl Formula {
         out.dedup();
         match out.len() {
             0 => Formula::False,
-            1 => out.pop().expect("len checked"),
+            1 => out.pop().unwrap_or(Formula::False),
             _ => Formula::Or(out),
         }
     }
@@ -306,7 +306,9 @@ fn conj_has_bound_conflict(fs: &[Formula]) -> bool {
             continue;
         }
         let g = e.coeffs.values().fold(0, |g, &c| crate::linear::gcd(g, c));
-        let lead = *e.coeffs.values().next().expect("nonempty");
+        let Some(&lead) = e.coeffs.values().next() else {
+            continue;
+        };
         let sign = if lead > 0 { 1 } else { -1 };
         let dir: Vec<(Sym, i64)> = e.coeffs.iter().map(|(&v, &c)| (v, sign * c / g)).collect();
         // e ≤ 0 ⇔ sign·g·(dir·x) + c ≤ 0

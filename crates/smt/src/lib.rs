@@ -20,6 +20,10 @@
 //! guarantees that every safety condition the analyses generate lands in
 //! exactly this decidable fragment.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod canon;
 pub mod formula;
 pub mod linear;

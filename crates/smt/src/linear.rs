@@ -75,6 +75,16 @@ impl LinExpr {
     }
 
     /// Adds another linear expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i64` coefficient overflow — saturating or wrapping here
+    /// would silently change formula semantics and could turn a reject into
+    /// an unsound accept. Overflow needs coefficients near 2^63 (far past
+    /// any real loop bound); if it ever fires during scheduling, the
+    /// `catch_unwind` boundary in operator dispatch reports it as a typed
+    /// internal error.
+    #[allow(clippy::expect_used)]
     pub fn add(&self, other: &LinExpr) -> LinExpr {
         let mut out = self.clone();
         out.constant = out
@@ -97,6 +107,12 @@ impl LinExpr {
     }
 
     /// Multiplies by a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i64` overflow (see [`LinExpr::add`] for why that beats
+    /// silent wrapping).
+    #[allow(clippy::expect_used)]
     pub fn scale(&self, c: i64) -> LinExpr {
         if c == 0 {
             return LinExpr::constant(0);
@@ -115,6 +131,11 @@ impl LinExpr {
     }
 
     /// Adds a constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `i64` overflow (see [`LinExpr::add`]).
+    #[allow(clippy::expect_used)]
     pub fn offset(&self, c: i64) -> LinExpr {
         let mut out = self.clone();
         out.constant = out
@@ -199,6 +220,11 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 }
 
 /// Least common multiple (non-negative; 0 if either is 0).
+///
+/// # Panics
+///
+/// Panics on `i64` overflow (see [`LinExpr::add`]).
+#[allow(clippy::expect_used)]
 pub fn lcm(a: i64, b: i64) -> i64 {
     if a == 0 || b == 0 {
         0

@@ -119,6 +119,15 @@ impl Solver {
     pub fn check_sat(&mut self, f: &Formula) -> Answer {
         self.stats.queries += 1;
         exo_obs::counter_add("smt.queries", 1);
+        // Chaos injection: pretend QE blew its budget. Answered *before* any
+        // cache interaction so the injected verdict can never contaminate
+        // later clean queries; `Unknown` is always a sound (conservative)
+        // answer, so injection can only turn accepts into rejects.
+        if exo_chaos::should_inject(exo_chaos::FaultSite::SmtTooHard) {
+            self.stats.gave_up += 1;
+            exo_obs::counter_add("smt.answer.unknown", 1);
+            return Answer::Unknown;
+        }
         if let Some(&a) = self.cache.get(f) {
             self.stats.cache_hits += 1;
             exo_obs::counter_add("smt.cache_hits", 1);
@@ -213,7 +222,10 @@ fn sat_qf(f: &Formula, budget: &mut QeBudget) -> Result<bool, TooHard> {
 ///
 /// # Panics
 ///
-/// Panics if the formula mentions a variable.
+/// Panics if the formula mentions a variable — unreachable by construction:
+/// callers run full quantifier elimination first, which either grounds the
+/// formula or fails with `TooHard` before this point.
+#[allow(clippy::expect_used)]
 fn eval_ground(f: &Formula) -> bool {
     match f {
         Formula::True => true,

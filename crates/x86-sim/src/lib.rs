@@ -16,6 +16,10 @@
 //!   the standard blocked-GEMM footprint analysis ([`traffic`] module);
 //!   used for the large parameter sweeps of Fig. 5.
 
+// Panic-free library surface: input-reachable failures must be typed
+// errors, not aborts. Unit tests may unwrap freely.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::sync::Arc;
 
 use exo_core::ir::{Proc, Stmt};
@@ -272,12 +276,28 @@ pub fn profile_proc(proc: &Proc) -> Option<KernelProfile> {
 
 /// Profiles an interpreter trace (small-size validation path).
 pub fn profile_trace(trace: &[HwOp]) -> KernelProfile {
+    profile_trace_budgeted(trace, &exo_core::budget::ResourceBudget::unlimited()).0
+}
+
+/// Budgeted [`profile_trace`]: charges one fuel unit per trace instruction
+/// and stops early when the pool (or its deadline) runs out. Returns the
+/// profile of the consumed prefix and whether the run was truncated — a
+/// truncated profile undercounts work and must not be compared against
+/// complete runs.
+pub fn profile_trace_budgeted(
+    trace: &[HwOp],
+    budget: &exo_core::budget::ResourceBudget,
+) -> (KernelProfile, bool) {
     let mut p = KernelProfile::default();
     for op in trace {
+        if budget.charge(1).is_err() {
+            exo_obs::counter_add("x86_sim.budget_stops", 1);
+            return (p, true);
+        }
         // masked ops have fewer useful lanes but the same issue cost
         classify(&op.instr, &mut p, LANES);
     }
-    p
+    (p, false)
 }
 
 /// Simulates a trace with no cache traffic (all-resident assumption) —

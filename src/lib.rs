@@ -49,8 +49,11 @@
 //! * [`hwlibs`] — Gemmini and AVX-512 as user libraries
 //! * [`gemmini_sim`] / [`x86_sim`] — the evaluation substrates
 //! * [`kernels`] — the §7 case studies
+//! * [`chaos`] — seeded fault injection for robustness testing
+//! * [`obs`] — tracing, metrics, schedule provenance
 
 pub use exo_analysis as analysis;
+pub use exo_chaos as chaos;
 pub use exo_codegen as codegen;
 pub use exo_core as core;
 pub use exo_front as front;

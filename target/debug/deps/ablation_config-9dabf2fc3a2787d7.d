@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_config-9dabf2fc3a2787d7.d: crates/bench/src/bin/ablation_config.rs
+
+/root/repo/target/debug/deps/ablation_config-9dabf2fc3a2787d7: crates/bench/src/bin/ablation_config.rs
+
+crates/bench/src/bin/ablation_config.rs:

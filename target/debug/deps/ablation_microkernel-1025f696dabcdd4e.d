@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_microkernel-1025f696dabcdd4e.d: crates/bench/src/bin/ablation_microkernel.rs
+
+/root/repo/target/debug/deps/ablation_microkernel-1025f696dabcdd4e: crates/bench/src/bin/ablation_microkernel.rs
+
+crates/bench/src/bin/ablation_microkernel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_overlap-a0a051c8cbdbf1c4.d: crates/bench/src/bin/ablation_overlap.rs
+
+/root/repo/target/debug/deps/ablation_overlap-a0a051c8cbdbf1c4: crates/bench/src/bin/ablation_overlap.rs
+
+crates/bench/src/bin/ablation_overlap.rs:

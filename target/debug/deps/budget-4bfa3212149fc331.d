@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget-4bfa3212149fc331.d: tests/budget.rs
+
+/root/repo/target/debug/deps/budget-4bfa3212149fc331: tests/budget.rs
+
+tests/budget.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget-e0720e3afd482cca.d: tests/budget.rs
+
+/root/repo/target/debug/deps/budget-e0720e3afd482cca: tests/budget.rs
+
+tests/budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-39d32e0e0d6c4cd5.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-39d32e0e0d6c4cd5.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-8f5f8c80ae49dae1.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/debug/deps/chaos-8f5f8c80ae49dae1: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

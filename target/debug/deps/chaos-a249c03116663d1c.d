@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-a249c03116663d1c.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-a249c03116663d1c: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-b583b694ee8058d5.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-b583b694ee8058d5: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_cache-6b022a5cff4e288b.d: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_cache-6b022a5cff4e288b.rmeta: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+crates/bench/src/bin/check_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_cache-8e3abb095aba4b1a.d: crates/bench/src/bin/check_cache.rs
+
+/root/repo/target/debug/deps/check_cache-8e3abb095aba4b1a: crates/bench/src/bin/check_cache.rs
+
+crates/bench/src/bin/check_cache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_cache-aca379b8032d579d.d: crates/sched/tests/check_cache.rs
+
+/root/repo/target/debug/deps/check_cache-aca379b8032d579d: crates/sched/tests/check_cache.rs
+
+crates/sched/tests/check_cache.rs:

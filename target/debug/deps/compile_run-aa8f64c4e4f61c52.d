@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compile_run-aa8f64c4e4f61c52.d: crates/codegen/tests/compile_run.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompile_run-aa8f64c4e4f61c52.rmeta: crates/codegen/tests/compile_run.rs Cargo.toml
+
+crates/codegen/tests/compile_run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compile_run-dde896c66f353b8c.d: crates/codegen/tests/compile_run.rs
+
+/root/repo/target/debug/deps/compile_run-dde896c66f353b8c: crates/codegen/tests/compile_run.rs
+
+crates/codegen/tests/compile_run.rs:

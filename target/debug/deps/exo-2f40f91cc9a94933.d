@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-2f40f91cc9a94933.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-2f40f91cc9a94933.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-2f40f91cc9a94933.rmeta: src/lib.rs
+
+src/lib.rs:

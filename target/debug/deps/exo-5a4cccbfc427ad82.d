@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo-5a4cccbfc427ad82.d: src/lib.rs
+
+/root/repo/target/debug/deps/exo-5a4cccbfc427ad82: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo-a06136de1d6aa983.d: src/lib.rs
+
+/root/repo/target/debug/deps/exo-a06136de1d6aa983: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo-bd4c3efd59d946bf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo-bd4c3efd59d946bf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-beccac559bb8e6af.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-beccac559bb8e6af.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-beccac559bb8e6af.rmeta: src/lib.rs
+
+src/lib.rs:

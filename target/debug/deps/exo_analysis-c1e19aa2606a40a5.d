@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/exo_analysis-c1e19aa2606a40a5.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+/root/repo/target/debug/deps/libexo_analysis-c1e19aa2606a40a5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+/root/repo/target/debug/deps/libexo_analysis-c1e19aa2606a40a5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
+crates/analysis/src/conditions.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/effexpr.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/locset.rs:

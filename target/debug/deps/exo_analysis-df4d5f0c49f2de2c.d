@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/exo_analysis-df4d5f0c49f2de2c.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_analysis-df4d5f0c49f2de2c.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
+crates/analysis/src/conditions.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/effexpr.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/locset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

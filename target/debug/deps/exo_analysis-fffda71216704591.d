@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exo_analysis-fffda71216704591.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+/root/repo/target/debug/deps/exo_analysis-fffda71216704591: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
+crates/analysis/src/conditions.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/effexpr.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/locset.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo_bench-04b5ec11d5fbb98f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/exo_bench-04b5ec11d5fbb98f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_bench-55cab05ca89bd329.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-55cab05ca89bd329.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-55cab05ca89bd329.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

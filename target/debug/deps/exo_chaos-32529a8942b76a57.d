@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_chaos-32529a8942b76a57.d: crates/chaos/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_chaos-32529a8942b76a57.rmeta: crates/chaos/src/lib.rs Cargo.toml
+
+crates/chaos/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo_chaos-85b35be689b94211.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/exo_chaos-85b35be689b94211: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

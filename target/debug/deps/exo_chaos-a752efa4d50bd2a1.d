@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_chaos-a752efa4d50bd2a1.d: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_chaos-a752efa4d50bd2a1.rlib: crates/chaos/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_chaos-a752efa4d50bd2a1.rmeta: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_codegen-1fb6eb47c927daa3.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_codegen-1fb6eb47c927daa3.rmeta: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs Cargo.toml
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_codegen-a9c8f3139b9df8b2.d: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+/root/repo/target/debug/deps/exo_codegen-a9c8f3139b9df8b2: crates/codegen/src/lib.rs crates/codegen/src/emit.rs crates/codegen/src/mem.rs
+
+crates/codegen/src/lib.rs:
+crates/codegen/src/emit.rs:
+crates/codegen/src/mem.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/exo_core-04f552e8da22ee9f.d: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
+/root/repo/target/debug/deps/exo_core-04f552e8da22ee9f.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
 
-/root/repo/target/debug/deps/exo_core-04f552e8da22ee9f: crates/core/src/lib.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
+/root/repo/target/debug/deps/exo_core-04f552e8da22ee9f: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
 
 crates/core/src/lib.rs:
+crates/core/src/budget.rs:
 crates/core/src/build.rs:
 crates/core/src/check.rs:
+crates/core/src/error.rs:
 crates/core/src/ir.rs:
 crates/core/src/path.rs:
 crates/core/src/printer.rs:

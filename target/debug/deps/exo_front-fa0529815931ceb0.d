@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_front-fa0529815931ceb0.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+/root/repo/target/debug/deps/exo_front-fa0529815931ceb0: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_hwlibs-1fdbbb8570425ec4.d: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+/root/repo/target/debug/deps/exo_hwlibs-1fdbbb8570425ec4: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs
+
+crates/hwlibs/src/lib.rs:
+crates/hwlibs/src/avx512.rs:
+crates/hwlibs/src/gemmini.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_hwlibs-88779aca90301e6f.d: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_hwlibs-88779aca90301e6f.rmeta: crates/hwlibs/src/lib.rs crates/hwlibs/src/avx512.rs crates/hwlibs/src/gemmini.rs Cargo.toml
+
+crates/hwlibs/src/lib.rs:
+crates/hwlibs/src/avx512.rs:
+crates/hwlibs/src/gemmini.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/exo_interp-98c8e53972c3400a.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/exo_interp-98c8e53972c3400a: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:

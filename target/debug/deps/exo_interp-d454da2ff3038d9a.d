@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exo_interp-d454da2ff3038d9a.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libexo_interp-d454da2ff3038d9a.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/debug/deps/libexo_interp-d454da2ff3038d9a.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:

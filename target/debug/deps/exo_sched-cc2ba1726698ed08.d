@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exo_sched-cc2ba1726698ed08.d: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/debug/deps/exo_sched-cc2ba1726698ed08: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/fold.rs:
+crates/sched/src/handle.rs:
+crates/sched/src/ops_calls.rs:
+crates/sched/src/ops_config.rs:
+crates/sched/src/ops_data.rs:
+crates/sched/src/ops_loops.rs:
+crates/sched/src/pattern.rs:
+crates/sched/src/unify.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_smt-6f80e5df4b0ca330.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/debug/deps/exo_smt-6f80e5df4b0ca330: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
+crates/smt/src/formula.rs:
+crates/smt/src/linear.rs:
+crates/smt/src/qe.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/ternary.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/exo_smt-7c0b3443b87e3499.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_smt-7c0b3443b87e3499.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs Cargo.toml
+
+crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
+crates/smt/src/formula.rs:
+crates/smt/src/linear.rs:
+crates/smt/src/qe.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/ternary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

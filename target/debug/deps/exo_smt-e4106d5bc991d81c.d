@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exo_smt-e4106d5bc991d81c.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/debug/deps/libexo_smt-e4106d5bc991d81c.rlib: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/debug/deps/libexo_smt-e4106d5bc991d81c.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
+crates/smt/src/formula.rs:
+crates/smt/src/linear.rs:
+crates/smt/src/qe.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/ternary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a-74c77aa05c2350a7.d: crates/bench/src/bin/fig4a.rs
+
+/root/repo/target/debug/deps/fig4a-74c77aa05c2350a7: crates/bench/src/bin/fig4a.rs
+
+crates/bench/src/bin/fig4a.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a-c5d6f9344ac9bcca.d: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a-c5d6f9344ac9bcca.rmeta: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+crates/bench/src/bin/fig4a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4b-64b1a9248e8a8fe6.d: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4b-64b1a9248e8a8fe6.rmeta: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+crates/bench/src/bin/fig4b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

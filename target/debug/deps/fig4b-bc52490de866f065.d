@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b-bc52490de866f065.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/debug/deps/fig4b-bc52490de866f065: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

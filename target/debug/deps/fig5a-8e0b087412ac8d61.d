@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-8e0b087412ac8d61.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-8e0b087412ac8d61: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

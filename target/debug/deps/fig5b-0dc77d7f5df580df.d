@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-0dc77d7f5df580df.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-0dc77d7f5df580df: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-7282261782472c14.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-7282261782472c14: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

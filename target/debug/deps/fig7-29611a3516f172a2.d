@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-29611a3516f172a2.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-29611a3516f172a2: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

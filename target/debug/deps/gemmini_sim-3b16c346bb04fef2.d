@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/gemmini_sim-3b16c346bb04fef2.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-3b16c346bb04fef2.rlib: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/libgemmini_sim-3b16c346bb04fef2.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gemmini_sim-bbdf84e997f1bb9d.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgemmini_sim-bbdf84e997f1bb9d.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs Cargo.toml
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/gemmini_sim-bc7f33ab8a0a76c2.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/debug/deps/gemmini_sim-bc7f33ab8a0a76c2: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ops_edge-17b2def84ac8b6d1.d: crates/sched/tests/ops_edge.rs
+
+/root/repo/target/debug/deps/ops_edge-17b2def84ac8b6d1: crates/sched/tests/ops_edge.rs
+
+crates/sched/tests/ops_edge.rs:

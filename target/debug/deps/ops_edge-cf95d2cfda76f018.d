@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ops_edge-cf95d2cfda76f018.d: crates/sched/tests/ops_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libops_edge-cf95d2cfda76f018.rmeta: crates/sched/tests/ops_edge.rs Cargo.toml
+
+crates/sched/tests/ops_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_example-db6a74a48faee41f.d: crates/sched/tests/paper_example.rs
+
+/root/repo/target/debug/deps/paper_example-db6a74a48faee41f: crates/sched/tests/paper_example.rs
+
+crates/sched/tests/paper_example.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parse_roundtrip-bc8ff8d723b6d957.d: crates/front/tests/parse_roundtrip.rs
+
+/root/repo/target/debug/deps/parse_roundtrip-bc8ff8d723b6d957: crates/front/tests/parse_roundtrip.rs
+
+crates/front/tests/parse_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-29e18ab6df9c64ff.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-29e18ab6df9c64ff: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-6db3c090dfe29a54.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-6db3c090dfe29a54: tests/pipeline.rs
+
+tests/pipeline.rs:

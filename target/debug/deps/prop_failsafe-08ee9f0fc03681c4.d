@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_failsafe-08ee9f0fc03681c4.d: tests/prop_failsafe.rs
+
+/root/repo/target/debug/deps/prop_failsafe-08ee9f0fc03681c4: tests/prop_failsafe.rs
+
+tests/prop_failsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_failsafe-558e1149488e4d9a.d: tests/prop_failsafe.rs
+
+/root/repo/target/debug/deps/prop_failsafe-558e1149488e4d9a: tests/prop_failsafe.rs
+
+tests/prop_failsafe.rs:

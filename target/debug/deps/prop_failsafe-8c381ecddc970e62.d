@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_failsafe-8c381ecddc970e62.d: tests/prop_failsafe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_failsafe-8c381ecddc970e62.rmeta: tests/prop_failsafe.rs Cargo.toml
+
+tests/prop_failsafe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-67db6bea9b52e545.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-67db6bea9b52e545: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

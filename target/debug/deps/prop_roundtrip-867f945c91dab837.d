@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-867f945c91dab837.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-867f945c91dab837: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-89f08e9a39ea0f7a.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-89f08e9a39ea0f7a: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-d3faadb90a222119.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-d3faadb90a222119: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_solver-1a196105b6949f8e.d: crates/smt/tests/prop_solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_solver-1a196105b6949f8e.rmeta: crates/smt/tests/prop_solver.rs Cargo.toml
+
+crates/smt/tests/prop_solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

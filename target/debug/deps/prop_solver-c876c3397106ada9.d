@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_solver-c876c3397106ada9.d: crates/smt/tests/prop_solver.rs
+
+/root/repo/target/debug/deps/prop_solver-c876c3397106ada9: crates/smt/tests/prop_solver.rs
+
+crates/smt/tests/prop_solver.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_ops-57520a03ddbb6e8f.d: crates/sched/tests/sched_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_ops-57520a03ddbb6e8f.rmeta: crates/sched/tests/sched_ops.rs Cargo.toml
+
+crates/sched/tests/sched_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_ops-825de2ddc4c990dd.d: crates/sched/tests/sched_ops.rs
+
+/root/repo/target/debug/deps/sched_ops-825de2ddc4c990dd: crates/sched/tests/sched_ops.rs
+
+crates/sched/tests/sched_ops.rs:

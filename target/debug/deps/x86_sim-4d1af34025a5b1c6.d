@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/x86_sim-4d1af34025a5b1c6.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libx86_sim-4d1af34025a5b1c6.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs Cargo.toml
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/x86_sim-839be267b6580a71.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/x86_sim-839be267b6580a71: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

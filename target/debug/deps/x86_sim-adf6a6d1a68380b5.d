@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/x86_sim-adf6a6d1a68380b5.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-adf6a6d1a68380b5.rlib: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/debug/deps/libx86_sim-adf6a6d1a68380b5.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

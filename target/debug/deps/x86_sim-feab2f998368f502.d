@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/x86_sim-feab2f998368f502.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libx86_sim-feab2f998368f502.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs Cargo.toml
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

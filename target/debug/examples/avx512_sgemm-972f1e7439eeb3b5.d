@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avx512_sgemm-972f1e7439eeb3b5.d: examples/avx512_sgemm.rs
+
+/root/repo/target/debug/examples/avx512_sgemm-972f1e7439eeb3b5: examples/avx512_sgemm.rs
+
+examples/avx512_sgemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avx512_sgemm-ba36c5446bcc3223.d: examples/avx512_sgemm.rs
+
+/root/repo/target/debug/examples/avx512_sgemm-ba36c5446bcc3223: examples/avx512_sgemm.rs
+
+examples/avx512_sgemm.rs:

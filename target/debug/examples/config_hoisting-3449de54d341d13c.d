@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_hoisting-3449de54d341d13c.d: examples/config_hoisting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_hoisting-3449de54d341d13c.rmeta: examples/config_hoisting.rs Cargo.toml
+
+examples/config_hoisting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hoisting-47d81ff7f4012250.d: examples/config_hoisting.rs
+
+/root/repo/target/debug/examples/config_hoisting-47d81ff7f4012250: examples/config_hoisting.rs
+
+examples/config_hoisting.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hoisting-9548333927696eab.d: examples/config_hoisting.rs
+
+/root/repo/target/debug/examples/config_hoisting-9548333927696eab: examples/config_hoisting.rs
+
+examples/config_hoisting.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gemmini_matmul-50602e7b273a6b41.d: examples/gemmini_matmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgemmini_matmul-50602e7b273a6b41.rmeta: examples/gemmini_matmul.rs Cargo.toml
+
+examples/gemmini_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemmini_matmul-56f3de4a97d6a5a8.d: examples/gemmini_matmul.rs
+
+/root/repo/target/debug/examples/gemmini_matmul-56f3de4a97d6a5a8: examples/gemmini_matmul.rs
+
+examples/gemmini_matmul.rs:

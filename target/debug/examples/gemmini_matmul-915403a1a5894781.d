@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemmini_matmul-915403a1a5894781.d: examples/gemmini_matmul.rs
+
+/root/repo/target/debug/examples/gemmini_matmul-915403a1a5894781: examples/gemmini_matmul.rs
+
+examples/gemmini_matmul.rs:

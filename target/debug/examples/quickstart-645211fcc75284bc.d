@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-645211fcc75284bc.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-645211fcc75284bc: examples/quickstart.rs
+
+examples/quickstart.rs:

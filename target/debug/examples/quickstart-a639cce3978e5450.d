@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a639cce3978e5450.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a639cce3978e5450: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_transcript-4085f6c189cdd2d6.d: examples/schedule_transcript.rs
+
+/root/repo/target/debug/examples/schedule_transcript-4085f6c189cdd2d6: examples/schedule_transcript.rs
+
+examples/schedule_transcript.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_transcript-fce630ed8b3b21ba.d: examples/schedule_transcript.rs
+
+/root/repo/target/debug/examples/schedule_transcript-fce630ed8b3b21ba: examples/schedule_transcript.rs
+
+examples/schedule_transcript.rs:

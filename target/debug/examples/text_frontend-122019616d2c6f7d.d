@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_frontend-122019616d2c6f7d.d: examples/text_frontend.rs
+
+/root/repo/target/debug/examples/text_frontend-122019616d2c6f7d: examples/text_frontend.rs
+
+examples/text_frontend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/text_frontend-e163ae5cfbb20269.d: examples/text_frontend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtext_frontend-e163ae5cfbb20269.rmeta: examples/text_frontend.rs Cargo.toml
+
+examples/text_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

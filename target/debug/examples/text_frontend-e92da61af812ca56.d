@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_frontend-e92da61af812ca56.d: examples/text_frontend.rs
+
+/root/repo/target/debug/examples/text_frontend-e92da61af812ca56: examples/text_frontend.rs
+
+examples/text_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-0349c671671c630d.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-0349c671671c630d: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_cache-8d407fae23eeff5f.d: crates/bench/src/bin/check_cache.rs
+
+/root/repo/target/release/deps/check_cache-8d407fae23eeff5f: crates/bench/src/bin/check_cache.rs
+
+crates/bench/src/bin/check_cache.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo-63efea4c2f922c48.d: src/lib.rs
+
+/root/repo/target/release/deps/libexo-63efea4c2f922c48.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libexo-63efea4c2f922c48.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/exo_analysis-4e2f968c1fd3ef40.d: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+/root/repo/target/release/deps/libexo_analysis-4e2f968c1fd3ef40.rlib: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+/root/repo/target/release/deps/libexo_analysis-4e2f968c1fd3ef40.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bounds.rs crates/analysis/src/check.rs crates/analysis/src/conditions.rs crates/analysis/src/context.rs crates/analysis/src/effects.rs crates/analysis/src/effexpr.rs crates/analysis/src/globals.rs crates/analysis/src/locset.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bounds.rs:
+crates/analysis/src/check.rs:
+crates/analysis/src/conditions.rs:
+crates/analysis/src/context.rs:
+crates/analysis/src/effects.rs:
+crates/analysis/src/effexpr.rs:
+crates/analysis/src/globals.rs:
+crates/analysis/src/locset.rs:

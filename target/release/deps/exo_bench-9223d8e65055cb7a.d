@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo_bench-9223d8e65055cb7a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-9223d8e65055cb7a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-9223d8e65055cb7a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo_chaos-e49276dd316f05eb.d: crates/chaos/src/lib.rs
+
+/root/repo/target/release/deps/libexo_chaos-e49276dd316f05eb.rlib: crates/chaos/src/lib.rs
+
+/root/repo/target/release/deps/libexo_chaos-e49276dd316f05eb.rmeta: crates/chaos/src/lib.rs
+
+crates/chaos/src/lib.rs:

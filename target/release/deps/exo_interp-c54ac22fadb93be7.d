@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/exo_interp-c54ac22fadb93be7.d: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libexo_interp-c54ac22fadb93be7.rlib: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+/root/repo/target/release/deps/libexo_interp-c54ac22fadb93be7.rmeta: crates/interp/src/lib.rs crates/interp/src/machine.rs crates/interp/src/trace.rs crates/interp/src/value.rs
+
+crates/interp/src/lib.rs:
+crates/interp/src/machine.rs:
+crates/interp/src/trace.rs:
+crates/interp/src/value.rs:

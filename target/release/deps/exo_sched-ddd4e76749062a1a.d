@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/exo_sched-ddd4e76749062a1a.d: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/release/deps/libexo_sched-ddd4e76749062a1a.rlib: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/release/deps/libexo_sched-ddd4e76749062a1a.rmeta: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/fold.rs:
+crates/sched/src/handle.rs:
+crates/sched/src/ops_calls.rs:
+crates/sched/src/ops_config.rs:
+crates/sched/src/ops_data.rs:
+crates/sched/src/ops_loops.rs:
+crates/sched/src/pattern.rs:
+crates/sched/src/unify.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/exo_smt-715f51133b34f603.d: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/release/deps/libexo_smt-715f51133b34f603.rlib: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+/root/repo/target/release/deps/libexo_smt-715f51133b34f603.rmeta: crates/smt/src/lib.rs crates/smt/src/canon.rs crates/smt/src/formula.rs crates/smt/src/linear.rs crates/smt/src/qe.rs crates/smt/src/solver.rs crates/smt/src/ternary.rs
+
+crates/smt/src/lib.rs:
+crates/smt/src/canon.rs:
+crates/smt/src/formula.rs:
+crates/smt/src/linear.rs:
+crates/smt/src/qe.rs:
+crates/smt/src/solver.rs:
+crates/smt/src/ternary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b-bbc9129360f62e81.d: crates/bench/src/bin/fig4b.rs
+
+/root/repo/target/release/deps/fig4b-bbc9129360f62e81: crates/bench/src/bin/fig4b.rs
+
+crates/bench/src/bin/fig4b.rs:

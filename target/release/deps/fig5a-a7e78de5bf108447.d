@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-a7e78de5bf108447.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-a7e78de5bf108447: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

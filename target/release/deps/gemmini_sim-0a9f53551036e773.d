@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gemmini_sim-0a9f53551036e773.d: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/release/deps/libgemmini_sim-0a9f53551036e773.rlib: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+/root/repo/target/release/deps/libgemmini_sim-0a9f53551036e773.rmeta: crates/gemmini-sim/src/lib.rs crates/gemmini-sim/src/report.rs
+
+crates/gemmini-sim/src/lib.rs:
+crates/gemmini-sim/src/report.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/x86_sim-3552067b0a253692.d: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libx86_sim-3552067b0a253692.rlib: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+/root/repo/target/release/deps/libx86_sim-3552067b0a253692.rmeta: crates/x86-sim/src/lib.rs crates/x86-sim/src/traffic.rs
+
+crates/x86-sim/src/lib.rs:
+crates/x86-sim/src/traffic.rs:

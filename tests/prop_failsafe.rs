@@ -1,0 +1,133 @@
+//! Property: every scheduling operator that returns `Err` is
+//! transactional — the source `Procedure`'s printed form is
+//! byte-identical and its provenance transcript is unextended. This is
+//! exercised over random programs, random directive sequences (many of
+//! which are deliberately invalid), and seeded chaos fault plans (so
+//! rejections also come from injected solver/pattern/analysis faults,
+//! not just from genuinely invalid directives).
+
+#![cfg(feature = "proptest-tests")]
+
+use std::sync::Arc;
+
+use exo::chaos::{self, FaultPlan, FaultSite};
+use exo::core::build::read;
+use exo::prelude::*;
+use proptest::prelude::*;
+
+/// A tiny random program over two 1-D buffers (loop bounds all 8).
+#[derive(Clone, Debug)]
+struct RandProgram {
+    loops: Vec<(u8, bool)>,
+}
+
+fn arb_program() -> impl Strategy<Value = RandProgram> {
+    proptest::collection::vec((0u8..2, any::<bool>()), 1..4).prop_map(|loops| RandProgram { loops })
+}
+
+fn build(p: &RandProgram) -> Arc<Proc> {
+    let mut b = ProcBuilder::new("failsafe");
+    let bufs = [
+        b.tensor("x", DataType::F32, vec![Expr::int(16)]),
+        b.tensor("y", DataType::F32, vec![Expr::int(16)]),
+    ];
+    for (w, reduce) in &p.loops {
+        let i = b.begin_for("i", Expr::int(0), Expr::int(8));
+        let rhs = read(bufs[(*w ^ 1) as usize], vec![Expr::var(i)]).add(Expr::float(1.0));
+        if *reduce {
+            b.reduce(bufs[*w as usize], vec![Expr::var(i)], rhs);
+        } else {
+            b.assign(bufs[*w as usize], vec![Expr::var(i)], rhs);
+        }
+        b.end_for();
+    }
+    b.finish()
+}
+
+/// Directives spanning valid, invalid-by-construction, and
+/// sometimes-valid cases.
+#[derive(Clone, Debug)]
+enum Directive {
+    /// `split` with a factor that may not divide the bound (8).
+    Split(i64),
+    /// A pattern that matches nothing.
+    SplitMissing,
+    /// Reorder on a singly-nested loop (always rejected).
+    ReorderFlat,
+    /// Unroll the first loop (valid).
+    Unroll,
+    /// Fission mid-loop when there is one statement (rejected).
+    FissionMissing,
+}
+
+fn arb_directive() -> impl Strategy<Value = Directive> {
+    prop_oneof![
+        (2i64..7).prop_map(Directive::Split),
+        Just(Directive::SplitMissing),
+        Just(Directive::ReorderFlat),
+        Just(Directive::Unroll),
+        Just(Directive::FissionMissing),
+    ]
+}
+
+fn apply(p: &Procedure, d: &Directive) -> Result<Procedure, SchedError> {
+    match d {
+        Directive::Split(c) => p.split("for i in _: _", *c, "so", "si"),
+        Directive::SplitMissing => p.split("for zz in _: _", 2, "zo", "zi"),
+        Directive::ReorderFlat => p.reorder("for i in _: _", "nothere"),
+        Directive::Unroll => p.unroll("for i in _: _"),
+        Directive::FissionMissing => p.fission_after("q[_] = _"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For every directive in a random sequence, under a seeded chaos
+    /// plan flipping coins at every fault site: `Err` ⇒ printer output
+    /// byte-identical and transcript unextended; `Ok` ⇒ transcript
+    /// extended by exactly one accepted event.
+    #[test]
+    fn rejected_operators_are_transactional(
+        prog in arb_program(),
+        dirs in proptest::collection::vec(arb_directive(), 1..6),
+        seed in 0u64..1024,
+    ) {
+        let mut plan = FaultPlan::new(seed);
+        for site in FaultSite::ALL {
+            plan = plan.with_site(site, 0.3);
+        }
+        let _guard = chaos::arm(plan);
+
+        let mut p = Procedure::new(build(&prog));
+        for d in &dirs {
+            let shown = p.show();
+            let events = p.transcript().len();
+            match apply(&p, d) {
+                Ok(q) => {
+                    prop_assert_eq!(
+                        q.transcript().len(),
+                        events + 1,
+                        "accept must append exactly one event ({:?})",
+                        d
+                    );
+                    p = q;
+                }
+                Err(_) => {
+                    prop_assert_eq!(
+                        p.show(),
+                        shown.clone(),
+                        "rejected {:?} mutated the procedure",
+                        d
+                    );
+                    prop_assert_eq!(
+                        p.transcript().len(),
+                        events,
+                        "rejected {:?} extended the transcript",
+                        d
+                    );
+                }
+            }
+        }
+    }
+}
