@@ -25,6 +25,13 @@ echo "== check-cache bench (smoke; fails on zero cache hits) =="
 EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
     cargo run --release -q -p exo-bench --bin check_cache
 
+echo "== lint suite (classifier matrix + rule pack + chaos degradation) =="
+cargo test -q -p exo-lint
+
+echo "== lint bench (smoke; fails on error-severity findings) =="
+EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
+    cargo run --release -q -p exo-bench --bin lint
+
 echo "== chaos suite (seeded fault-injection matrix) =="
 cargo test -q --test chaos --test budget
 

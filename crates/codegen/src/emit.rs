@@ -45,12 +45,23 @@ pub struct CodegenCtx {
     pub mems: MemorySet,
     /// Configuration struct declarations.
     pub configs: Vec<ConfigDecl>,
+    /// Loops approved for parallel execution, keyed by iteration
+    /// variable: the loop gets `#pragma omp parallel for`, with a
+    /// `reduction(+:…)` clause over the listed buffers when non-empty.
+    /// Populate from `exo_sched::Procedure::parallel_marks()`.
+    pub parallel: HashMap<Sym, Vec<Sym>>,
 }
 
 impl CodegenCtx {
     /// A context with only DRAM and no configuration state.
     pub fn new() -> CodegenCtx {
         CodegenCtx::default()
+    }
+
+    /// Approves the loop over `iter` for parallel emission, with an
+    /// OpenMP reduction clause over `reductions` (empty for none).
+    pub fn mark_parallel(&mut self, iter: Sym, reductions: Vec<Sym>) {
+        self.parallel.insert(iter, reductions);
     }
 
     fn config(&self, name: Sym) -> Option<&ConfigDecl> {
@@ -471,6 +482,18 @@ impl<'a> ProcGen<'a> {
                 let v = self.intern(*iter);
                 let lo = self.ctrl_expr(lo)?;
                 let hi = self.ctrl_expr(hi)?;
+                if let Some(reductions) = self.ctx.parallel.get(iter).cloned() {
+                    if reductions.is_empty() {
+                        self.line("#pragma omp parallel for");
+                    } else {
+                        let names: Vec<String> =
+                            reductions.iter().map(|b| self.intern(*b)).collect();
+                        self.line(&format!(
+                            "#pragma omp parallel for reduction(+:{})",
+                            names.join(", ")
+                        ));
+                    }
+                }
                 self.line(&format!(
                     "for (int_fast32_t {v} = {lo}; {v} < {hi}; {v}++) {{"
                 ));

@@ -60,6 +60,7 @@
 pub mod budget;
 pub mod build;
 pub mod check;
+pub mod diag;
 pub mod error;
 pub mod ir;
 pub mod path;
@@ -69,6 +70,7 @@ pub mod types;
 pub mod visit;
 
 pub use budget::{BudgetError, Resource, ResourceBudget};
+pub use diag::{Diagnostic, Severity};
 pub use error::{ErrorKind, ExoError};
 pub use ir::{
     ArgType, BinOp, Block, ConfigDecl, ConfigField, Expr, FnArg, InstrTemplate, Lit, Proc, Stmt,

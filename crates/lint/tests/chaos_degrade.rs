@@ -1,0 +1,71 @@
+//! Fail-safe under fault injection: when the solver is forced to give up
+//! on every query, the classifier must degrade to `Sequential` — it may
+//! never upgrade a verdict to `Parallel` on an unproven loop.
+//!
+//! Chaos arming is process-global, so this lives in its own integration
+//! test binary (own process) to avoid poisoning the other suites.
+
+use exo_analysis::{GlobalReg, SharedCheckCtx};
+use exo_chaos::{FaultPlan, FaultSite};
+use exo_core::build::{read, ProcBuilder};
+use exo_core::ir::Expr;
+use exo_core::path::StmtPath;
+use exo_core::types::DataType;
+use exo_lint::{classify_loop, LoopVerdict};
+
+/// The provably-parallel elementwise map from the classifier matrix.
+fn parallel_map() -> std::sync::Arc<exo_core::ir::Proc> {
+    let mut b = ProcBuilder::new("map");
+    let n = b.size("n");
+    let a = b.tensor("A", DataType::F32, vec![Expr::var(n)]);
+    let bb = b.tensor("B", DataType::F32, vec![Expr::var(n)]);
+    let i = b.begin_for("i", Expr::int(0), Expr::var(n));
+    b.assign(
+        a,
+        vec![Expr::var(i)],
+        read(bb, vec![Expr::var(i)]).mul(Expr::int(2)),
+    );
+    b.end_for();
+    b.finish()
+}
+
+#[test]
+fn solver_giveups_degrade_to_sequential_never_parallel() {
+    let p = parallel_map();
+
+    // Sanity: unfaulted, this loop proves Parallel.
+    {
+        let check = SharedCheckCtx::fresh();
+        let mut reg = GlobalReg::new();
+        let v = classify_loop(&p, &StmtPath::top(0), &check, &mut reg)
+            .expect("classification succeeds unfaulted");
+        assert_eq!(v, LoopVerdict::Parallel);
+    }
+
+    // Armed: every solver query reports Unknown. The classifier must not
+    // trust an unproven independence claim.
+    let guard = exo_chaos::arm(FaultPlan::always(0xDEC0DE, &[FaultSite::SmtTooHard]));
+    let check = SharedCheckCtx::fresh();
+    let mut reg = GlobalReg::new();
+    let v = classify_loop(&p, &StmtPath::top(0), &check, &mut reg)
+        .expect("classification still succeeds under give-ups");
+    match v {
+        LoopVerdict::Sequential { witness } => {
+            // With the solver refusing every SAT probe there is no proven
+            // collision either — the verdict is conservative, not a lie.
+            assert!(
+                witness.is_none(),
+                "give-ups cannot manufacture a witness: {witness:?}"
+            );
+        }
+        other => panic!("faulted classification must fail safe, got {other:?}"),
+    }
+    drop(guard);
+
+    // Disarmed again, the proof comes back.
+    let check = SharedCheckCtx::fresh();
+    let mut reg = GlobalReg::new();
+    let v = classify_loop(&p, &StmtPath::top(0), &check, &mut reg)
+        .expect("classification succeeds after disarm");
+    assert_eq!(v, LoopVerdict::Parallel);
+}

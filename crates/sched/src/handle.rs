@@ -186,6 +186,21 @@ impl Default for SchedState {
 /// Shared handle to the scheduling state.
 pub type StateRef = Arc<Mutex<SchedState>>;
 
+/// A loop approved for parallel execution by [`Procedure::parallelize`].
+///
+/// Marks are keyed by the loop's iteration-variable symbol (stable
+/// across body rewrites that keep the loop; a mark whose loop was
+/// rewritten away is inert). Code generation consumes these via
+/// `CodegenCtx::parallel` to emit `#pragma omp parallel for`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ParallelMark {
+    /// Iteration variable of the approved loop.
+    pub iter: Sym,
+    /// Buffers needing an OpenMP `reduction(+:…)` clause (empty for a
+    /// fully parallel loop).
+    pub reductions: Vec<Sym>,
+}
+
 /// A schedulable procedure with provenance.
 #[derive(Clone, Debug)]
 pub struct Procedure {
@@ -203,6 +218,8 @@ pub struct Procedure {
     directives: usize,
     /// Schedule provenance: one event per applied rewrite, in order.
     transcript: Vec<ProvenanceEvent>,
+    /// Loops approved for parallel execution, in approval order.
+    parallel: Vec<ParallelMark>,
 }
 
 impl Procedure {
@@ -227,6 +244,7 @@ impl Procedure {
             polluted: BTreeSet::new(),
             directives: 0,
             transcript: Vec::new(),
+            parallel: Vec::new(),
         }
     }
 
@@ -266,6 +284,14 @@ impl Procedure {
     /// The transcript rendered as an indented human-readable listing.
     pub fn transcript_text(&self) -> String {
         exo_obs::render_transcript(&self.proc.name.name(), &self.transcript)
+    }
+
+    /// Loops approved for parallel execution by
+    /// [`Procedure::parallelize`], in approval order. Feed these into
+    /// `exo_codegen::CodegenCtx::parallel` (keyed by iteration-variable
+    /// symbol) to emit `#pragma omp parallel for`.
+    pub fn parallel_marks(&self) -> &[ParallelMark] {
+        &self.parallel
     }
 
     /// Configuration fields modulo which this procedure is equivalent to
@@ -357,6 +383,7 @@ impl Procedure {
             polluted: self.polluted.clone(),
             directives: self.directives + 1,
             transcript: self.transcript.clone(),
+            parallel: self.parallel.clone(),
         }
     }
 
@@ -371,7 +398,26 @@ impl Procedure {
             polluted: self.polluted.clone(),
             directives: self.directives + 1,
             transcript: self.transcript.clone(),
+            parallel: self.parallel.clone(),
         }
+    }
+
+    /// Derives a procedure with one more parallel-approval mark (same
+    /// body; one directive applied).
+    pub(crate) fn with_parallel(&self, mark: ParallelMark) -> Procedure {
+        let mut derived = Procedure {
+            proc: Arc::clone(&self.proc),
+            root: Arc::clone(&self.root),
+            state: Arc::clone(&self.state),
+            class: self.class,
+            polluted: self.polluted.clone(),
+            directives: self.directives + 1,
+            transcript: self.transcript.clone(),
+            parallel: self.parallel.clone(),
+        };
+        derived.parallel.retain(|m| m.iter != mark.iter);
+        derived.parallel.push(mark);
+        derived
     }
 
     /// Total statement count of the current body (all nesting levels).

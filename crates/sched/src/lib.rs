@@ -33,10 +33,12 @@ pub mod ops_calls;
 pub mod ops_config;
 pub mod ops_data;
 pub mod ops_loops;
+pub mod ops_parallel;
 pub mod pattern;
 pub mod unify;
 
 pub use exo_analysis::SharedCheckCtx;
-pub use handle::{Procedure, SchedError, SchedState, StateRef};
+pub use exo_lint::LoopVerdict;
+pub use handle::{ParallelMark, Procedure, SchedError, SchedState, StateRef};
 pub use ops_config::Position;
 pub use pattern::{ParsedPattern, Pattern, PatternError, StmtPattern};

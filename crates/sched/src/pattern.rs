@@ -258,13 +258,24 @@ impl ParsedPattern {
                 hits.push(p.clone());
             }
         });
-        hits.get(self.index).cloned().ok_or_else(|| PatternError {
-            message: format!(
-                "pattern {:?} matched {} statement(s), wanted index {}",
-                self.kind,
-                hits.len(),
-                self.index
-            ),
+        hits.get(self.index).cloned().ok_or_else(|| {
+            // List every candidate span so an ambiguous pattern tells the
+            // user exactly which `#n` selector to add (same span rendering
+            // as lint diagnostics).
+            let candidates = if hits.is_empty() {
+                String::new()
+            } else {
+                format!("; candidates: {}", exo_core::diag::render_paths(&hits))
+            };
+            PatternError {
+                message: format!(
+                    "pattern {:?} matched {} statement(s), wanted index {}{}",
+                    self.kind,
+                    hits.len(),
+                    self.index,
+                    candidates
+                ),
+            }
         })
     }
 

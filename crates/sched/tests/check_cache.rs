@@ -274,6 +274,47 @@ fn repeat_scheduling_hits_cache_across_fresh_symbols() {
     );
 }
 
+/// Dependence-classification queries flow through the shared canonical
+/// cache: classifying two alpha-variant builds of one kernel through a
+/// single context hits the cache on the second pass, and a subsequent
+/// `parallelize` on a third build replays the same obligations for free.
+#[test]
+fn dependence_queries_hit_canonical_cache_across_runs() {
+    let state = state_with_cache(true);
+    let check = state
+        .lock()
+        .expect("scheduler state poisoned")
+        .check
+        .clone();
+    let mut reg = exo_analysis::GlobalReg::new();
+    let top = exo_core::path::StmtPath::top(0);
+
+    let v1 = exo_lint::classify_loop(&gemm(8), &top, &check, &mut reg).expect("classify");
+    assert_eq!(v1, exo_lint::LoopVerdict::Parallel);
+    let cold = check.stats();
+
+    // A fresh build has fresh symbols — only the canonicalizer can match
+    // these obligations to the first run's cache lines.
+    let v2 = exo_lint::classify_loop(&gemm(8), &top, &check, &mut reg).expect("classify");
+    assert_eq!(v1, v2, "cache hits must not change the verdict");
+    let warm = check.stats();
+    assert!(
+        warm.hits > cold.hits,
+        "alpha-variant classification produced no cache hits: {warm:?}"
+    );
+
+    // `parallelize` re-poses the classifier's queries through the state's
+    // own context — sharing that context makes the gate nearly free.
+    let p = Procedure::with_state(gemm(8), Arc::clone(&state));
+    let before = check.stats();
+    p.parallelize("for i in _: _").expect("provably parallel");
+    let after = check.stats();
+    assert!(
+        after.hits > before.hits,
+        "parallelize after classification produced no cache hits: {after:?}"
+    );
+}
+
 /// `EXO_CHECK_CACHE=0` is honored at context construction time.
 #[test]
 fn env_escape_hatch_disables_cache() {

@@ -51,6 +51,7 @@
 //! * [`kernels`] — the §7 case studies
 //! * [`chaos`] — seeded fault injection for robustness testing
 //! * [`obs`] — tracing, metrics, schedule provenance
+//! * [`lint`] — loop-dependence classifier + whole-program lint rules
 
 pub use exo_analysis as analysis;
 pub use exo_chaos as chaos;
@@ -60,6 +61,7 @@ pub use exo_front as front;
 pub use exo_hwlibs as hwlibs;
 pub use exo_interp as interp;
 pub use exo_kernels as kernels;
+pub use exo_lint as lint;
 pub use exo_obs as obs;
 pub use exo_sched as sched;
 pub use exo_smt as smt;

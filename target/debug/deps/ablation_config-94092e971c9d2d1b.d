@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_config-94092e971c9d2d1b.d: crates/bench/src/bin/ablation_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_config-94092e971c9d2d1b.rmeta: crates/bench/src/bin/ablation_config.rs Cargo.toml
+
+crates/bench/src/bin/ablation_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

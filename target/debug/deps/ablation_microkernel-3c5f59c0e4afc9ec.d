@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_microkernel-3c5f59c0e4afc9ec.d: crates/bench/src/bin/ablation_microkernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_microkernel-3c5f59c0e4afc9ec.rmeta: crates/bench/src/bin/ablation_microkernel.rs Cargo.toml
+
+crates/bench/src/bin/ablation_microkernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_overlap-0384ab8c585bd7aa.d: crates/bench/src/bin/ablation_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_overlap-0384ab8c585bd7aa.rmeta: crates/bench/src/bin/ablation_overlap.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

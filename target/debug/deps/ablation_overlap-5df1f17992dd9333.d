@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_overlap-5df1f17992dd9333.d: crates/bench/src/bin/ablation_overlap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_overlap-5df1f17992dd9333.rmeta: crates/bench/src/bin/ablation_overlap.rs Cargo.toml
+
+crates/bench/src/bin/ablation_overlap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

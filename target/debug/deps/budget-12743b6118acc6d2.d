@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/budget-12743b6118acc6d2.d: tests/budget.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbudget-12743b6118acc6d2.rmeta: tests/budget.rs Cargo.toml
+
+tests/budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

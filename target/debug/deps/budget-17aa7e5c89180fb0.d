@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/budget-17aa7e5c89180fb0.d: tests/budget.rs
+
+/root/repo/target/debug/deps/budget-17aa7e5c89180fb0: tests/budget.rs
+
+tests/budget.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-1f0fe406d77532ca.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-1f0fe406d77532ca.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

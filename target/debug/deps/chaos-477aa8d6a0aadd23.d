@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos-477aa8d6a0aadd23.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-477aa8d6a0aadd23: tests/chaos.rs
+
+tests/chaos.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos-ce2610f055528337.d: crates/bench/src/bin/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-ce2610f055528337.rmeta: crates/bench/src/bin/chaos.rs Cargo.toml
+
+crates/bench/src/bin/chaos.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_degrade-6c5758bb3e9afbe2.d: crates/lint/tests/chaos_degrade.rs
+
+/root/repo/target/debug/deps/chaos_degrade-6c5758bb3e9afbe2: crates/lint/tests/chaos_degrade.rs
+
+crates/lint/tests/chaos_degrade.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_degrade-c804cbb2e56317a6.d: crates/lint/tests/chaos_degrade.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_degrade-c804cbb2e56317a6.rmeta: crates/lint/tests/chaos_degrade.rs Cargo.toml
+
+crates/lint/tests/chaos_degrade.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

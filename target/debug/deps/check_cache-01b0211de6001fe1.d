@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_cache-01b0211de6001fe1.d: crates/sched/tests/check_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_cache-01b0211de6001fe1.rmeta: crates/sched/tests/check_cache.rs Cargo.toml
+
+crates/sched/tests/check_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

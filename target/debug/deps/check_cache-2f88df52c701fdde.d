@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_cache-2f88df52c701fdde.d: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_cache-2f88df52c701fdde.rmeta: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+crates/bench/src/bin/check_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/check_cache-35d97eec6dd48db3.d: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcheck_cache-35d97eec6dd48db3.rmeta: crates/bench/src/bin/check_cache.rs Cargo.toml
+
+crates/bench/src/bin/check_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

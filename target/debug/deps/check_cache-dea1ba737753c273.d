@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/check_cache-dea1ba737753c273.d: crates/sched/tests/check_cache.rs
+
+/root/repo/target/debug/deps/check_cache-dea1ba737753c273: crates/sched/tests/check_cache.rs
+
+crates/sched/tests/check_cache.rs:

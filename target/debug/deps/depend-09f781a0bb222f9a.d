@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/depend-09f781a0bb222f9a.d: crates/lint/tests/depend.rs
+
+/root/repo/target/debug/deps/depend-09f781a0bb222f9a: crates/lint/tests/depend.rs
+
+crates/lint/tests/depend.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/depend-1041ec149cc1aa98.d: crates/lint/tests/depend.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdepend-1041ec149cc1aa98.rmeta: crates/lint/tests/depend.rs Cargo.toml
+
+crates/lint/tests/depend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

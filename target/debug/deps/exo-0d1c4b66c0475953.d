@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo-0d1c4b66c0475953.d: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-0d1c4b66c0475953.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libexo-0d1c4b66c0475953.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exo-ed007ec94295f686.d: src/lib.rs
+
+/root/repo/target/debug/deps/exo-ed007ec94295f686: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_bench-45510ec527068984.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_bench-45510ec527068984.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

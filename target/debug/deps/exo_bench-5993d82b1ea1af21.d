@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_bench-5993d82b1ea1af21.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-5993d82b1ea1af21.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libexo_bench-5993d82b1ea1af21.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/exo_core-fa3f64238b458217.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs Cargo.toml
+/root/repo/target/debug/deps/exo_core-fa3f64238b458217.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/diag.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs Cargo.toml
 
-/root/repo/target/debug/deps/libexo_core-fa3f64238b458217.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs Cargo.toml
+/root/repo/target/debug/deps/libexo_core-fa3f64238b458217.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/diag.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/budget.rs:
 crates/core/src/build.rs:
 crates/core/src/check.rs:
+crates/core/src/diag.rs:
 crates/core/src/error.rs:
 crates/core/src/ir.rs:
 crates/core/src/path.rs:

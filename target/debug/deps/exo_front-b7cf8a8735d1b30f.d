@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_front-b7cf8a8735d1b30f.d: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_front-b7cf8a8735d1b30f.rmeta: crates/front/src/lib.rs crates/front/src/lex.rs crates/front/src/parse.rs Cargo.toml
+
+crates/front/src/lib.rs:
+crates/front/src/lex.rs:
+crates/front/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_kernels-7904b99c2f2447da.d: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/debug/deps/libexo_kernels-7904b99c2f2447da.rlib: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/debug/deps/libexo_kernels-7904b99c2f2447da.rmeta: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/gemmini_conv.rs:
+crates/kernels/src/gemmini_gemm.rs:
+crates/kernels/src/x86_conv.rs:
+crates/kernels/src/x86_gemm.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/exo_kernels-c75280c8aa1c6558.d: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_kernels-c75280c8aa1c6558.rmeta: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/gemmini_conv.rs:
+crates/kernels/src/gemmini_gemm.rs:
+crates/kernels/src/x86_conv.rs:
+crates/kernels/src/x86_gemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

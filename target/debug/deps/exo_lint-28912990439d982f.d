@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exo_lint-28912990439d982f.d: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/libexo_lint-28912990439d982f.rlib: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/libexo_lint-28912990439d982f.rmeta: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depend.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_lint-32eb562339ed8e51.d: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_lint-32eb562339ed8e51.rmeta: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/depend.rs:
+crates/lint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/exo_lint-67457f4ca538e177.d: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+/root/repo/target/debug/deps/exo_lint-67457f4ca538e177: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depend.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/exo_lint-e3da91f70d539068.d: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_lint-e3da91f70d539068.rmeta: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+crates/lint/src/depend.rs:
+crates/lint/src/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/exo_sched-2230a0efa873a20d.d: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexo_sched-2230a0efa873a20d.rmeta: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/fold.rs:
+crates/sched/src/handle.rs:
+crates/sched/src/ops_calls.rs:
+crates/sched/src/ops_config.rs:
+crates/sched/src/ops_data.rs:
+crates/sched/src/ops_loops.rs:
+crates/sched/src/ops_parallel.rs:
+crates/sched/src/pattern.rs:
+crates/sched/src/unify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

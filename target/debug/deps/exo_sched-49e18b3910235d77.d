@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/exo_sched-49e18b3910235d77.d: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/debug/deps/libexo_sched-49e18b3910235d77.rlib: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/debug/deps/libexo_sched-49e18b3910235d77.rmeta: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/fold.rs:
+crates/sched/src/handle.rs:
+crates/sched/src/ops_calls.rs:
+crates/sched/src/ops_config.rs:
+crates/sched/src/ops_data.rs:
+crates/sched/src/ops_loops.rs:
+crates/sched/src/ops_parallel.rs:
+crates/sched/src/pattern.rs:
+crates/sched/src/unify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4a-6fe797b0cb1b2df2.d: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4a-6fe797b0cb1b2df2.rmeta: crates/bench/src/bin/fig4a.rs Cargo.toml
+
+crates/bench/src/bin/fig4a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

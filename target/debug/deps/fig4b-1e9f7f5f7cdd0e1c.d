@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4b-1e9f7f5f7cdd0e1c.d: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4b-1e9f7f5f7cdd0e1c.rmeta: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+crates/bench/src/bin/fig4b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4b-609d611131896c6d.d: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4b-609d611131896c6d.rmeta: crates/bench/src/bin/fig4b.rs Cargo.toml
+
+crates/bench/src/bin/fig4b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5a-8fac35dd6d4d10ba.d: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5a-8fac35dd6d4d10ba.rmeta: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+crates/bench/src/bin/fig5a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b-674a51dd3fd4147d.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-674a51dd3fd4147d.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5b-e7b83cb28c98cda6.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5b-e7b83cb28c98cda6.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

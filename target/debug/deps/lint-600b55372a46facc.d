@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint-600b55372a46facc.d: crates/bench/src/bin/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-600b55372a46facc.rmeta: crates/bench/src/bin/lint.rs Cargo.toml
+
+crates/bench/src/bin/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lint-8002e74a9e3eb30c.d: crates/bench/src/bin/lint.rs
+
+/root/repo/target/debug/deps/lint-8002e74a9e3eb30c: crates/bench/src/bin/lint.rs
+
+crates/bench/src/bin/lint.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lint-e7b562f855af9b92.d: crates/bench/src/bin/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint-e7b562f855af9b92.rmeta: crates/bench/src/bin/lint.rs Cargo.toml
+
+crates/bench/src/bin/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

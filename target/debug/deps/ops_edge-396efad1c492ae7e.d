@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ops_edge-396efad1c492ae7e.d: crates/sched/tests/ops_edge.rs Cargo.toml
+
+/root/repo/target/debug/deps/libops_edge-396efad1c492ae7e.rmeta: crates/sched/tests/ops_edge.rs Cargo.toml
+
+crates/sched/tests/ops_edge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

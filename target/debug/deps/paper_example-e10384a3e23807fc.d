@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_example-e10384a3e23807fc.d: crates/sched/tests/paper_example.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_example-e10384a3e23807fc.rmeta: crates/sched/tests/paper_example.rs Cargo.toml
+
+crates/sched/tests/paper_example.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallelize-839a04369ec070bc.d: tests/parallelize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallelize-839a04369ec070bc.rmeta: tests/parallelize.rs Cargo.toml
+
+tests/parallelize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

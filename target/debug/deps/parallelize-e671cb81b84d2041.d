@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallelize-e671cb81b84d2041.d: tests/parallelize.rs
+
+/root/repo/target/debug/deps/parallelize-e671cb81b84d2041: tests/parallelize.rs
+
+tests/parallelize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parse_roundtrip-143a04d4e84c2001.d: crates/front/tests/parse_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparse_roundtrip-143a04d4e84c2001.rmeta: crates/front/tests/parse_roundtrip.rs Cargo.toml
+
+crates/front/tests/parse_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-928d6937fdbbaf16.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-928d6937fdbbaf16: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_failsafe-86af78d511f37948.d: tests/prop_failsafe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_failsafe-86af78d511f37948.rmeta: tests/prop_failsafe.rs Cargo.toml
+
+tests/prop_failsafe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_failsafe-e11304102f196fcb.d: tests/prop_failsafe.rs
+
+/root/repo/target/debug/deps/prop_failsafe-e11304102f196fcb: tests/prop_failsafe.rs
+
+tests/prop_failsafe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_roundtrip-42ae2d172eea0164.d: tests/prop_roundtrip.rs
+
+/root/repo/target/debug/deps/prop_roundtrip-42ae2d172eea0164: tests/prop_roundtrip.rs
+
+tests/prop_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_roundtrip-b603a5db6a45c49f.d: tests/prop_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_roundtrip-b603a5db6a45c49f.rmeta: tests/prop_roundtrip.rs Cargo.toml
+
+tests/prop_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_schedule-5432457a93c7b84c.d: tests/prop_schedule.rs
+
+/root/repo/target/debug/deps/prop_schedule-5432457a93c7b84c: tests/prop_schedule.rs
+
+tests/prop_schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_schedule-838c89553f54c79e.d: tests/prop_schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_schedule-838c89553f54c79e.rmeta: tests/prop_schedule.rs Cargo.toml
+
+tests/prop_schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

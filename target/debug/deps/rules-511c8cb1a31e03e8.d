@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rules-511c8cb1a31e03e8.d: crates/lint/tests/rules.rs Cargo.toml
+
+/root/repo/target/debug/deps/librules-511c8cb1a31e03e8.rmeta: crates/lint/tests/rules.rs Cargo.toml
+
+crates/lint/tests/rules.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rules-8a356fb82eb83244.d: crates/lint/tests/rules.rs
+
+/root/repo/target/debug/deps/rules-8a356fb82eb83244: crates/lint/tests/rules.rs
+
+crates/lint/tests/rules.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_ops-ccb15c5dc4f4f3a3.d: crates/sched/tests/sched_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_ops-ccb15c5dc4f4f3a3.rmeta: crates/sched/tests/sched_ops.rs Cargo.toml
+
+crates/sched/tests/sched_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/avx512_sgemm-3dac52ec02d0554b.d: examples/avx512_sgemm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libavx512_sgemm-3dac52ec02d0554b.rmeta: examples/avx512_sgemm.rs Cargo.toml
+
+examples/avx512_sgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

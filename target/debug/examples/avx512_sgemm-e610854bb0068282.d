@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/avx512_sgemm-e610854bb0068282.d: examples/avx512_sgemm.rs
+
+/root/repo/target/debug/examples/avx512_sgemm-e610854bb0068282: examples/avx512_sgemm.rs
+
+examples/avx512_sgemm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/config_hoisting-94a23cb07635cf80.d: examples/config_hoisting.rs
+
+/root/repo/target/debug/examples/config_hoisting-94a23cb07635cf80: examples/config_hoisting.rs
+
+examples/config_hoisting.rs:

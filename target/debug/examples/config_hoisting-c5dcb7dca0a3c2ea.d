@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/config_hoisting-c5dcb7dca0a3c2ea.d: examples/config_hoisting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconfig_hoisting-c5dcb7dca0a3c2ea.rmeta: examples/config_hoisting.rs Cargo.toml
+
+examples/config_hoisting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

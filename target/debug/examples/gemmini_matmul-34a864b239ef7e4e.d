@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemmini_matmul-34a864b239ef7e4e.d: examples/gemmini_matmul.rs
+
+/root/repo/target/debug/examples/gemmini_matmul-34a864b239ef7e4e: examples/gemmini_matmul.rs
+
+examples/gemmini_matmul.rs:

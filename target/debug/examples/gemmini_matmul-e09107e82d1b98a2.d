@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gemmini_matmul-e09107e82d1b98a2.d: examples/gemmini_matmul.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgemmini_matmul-e09107e82d1b98a2.rmeta: examples/gemmini_matmul.rs Cargo.toml
+
+examples/gemmini_matmul.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3d164a6f0ba3fccb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3d164a6f0ba3fccb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_transcript-4378c939ab387607.d: examples/schedule_transcript.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_transcript-4378c939ab387607.rmeta: examples/schedule_transcript.rs Cargo.toml
+
+examples/schedule_transcript.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_transcript-9961c23d6059e1a2.d: examples/schedule_transcript.rs
+
+/root/repo/target/debug/examples/schedule_transcript-9961c23d6059e1a2: examples/schedule_transcript.rs
+
+examples/schedule_transcript.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/text_frontend-2a3bd6e9f9a1db23.d: examples/text_frontend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtext_frontend-2a3bd6e9f9a1db23.rmeta: examples/text_frontend.rs Cargo.toml
+
+examples/text_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

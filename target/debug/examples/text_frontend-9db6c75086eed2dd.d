@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_frontend-9db6c75086eed2dd.d: examples/text_frontend.rs
+
+/root/repo/target/debug/examples/text_frontend-9db6c75086eed2dd: examples/text_frontend.rs
+
+examples/text_frontend.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos-3aacad53cc480969.d: crates/bench/src/bin/chaos.rs
+
+/root/repo/target/release/deps/chaos-3aacad53cc480969: crates/bench/src/bin/chaos.rs
+
+crates/bench/src/bin/chaos.rs:

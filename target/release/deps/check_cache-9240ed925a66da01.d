@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/check_cache-9240ed925a66da01.d: crates/bench/src/bin/check_cache.rs
+
+/root/repo/target/release/deps/check_cache-9240ed925a66da01: crates/bench/src/bin/check_cache.rs
+
+crates/bench/src/bin/check_cache.rs:

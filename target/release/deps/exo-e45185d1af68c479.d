@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo-e45185d1af68c479.d: src/lib.rs
+
+/root/repo/target/release/deps/libexo-e45185d1af68c479.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libexo-e45185d1af68c479.rmeta: src/lib.rs
+
+src/lib.rs:

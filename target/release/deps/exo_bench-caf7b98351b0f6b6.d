@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/exo_bench-caf7b98351b0f6b6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-caf7b98351b0f6b6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libexo_bench-caf7b98351b0f6b6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/exo_core-a19c91c3891b7820.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
+/root/repo/target/release/deps/exo_core-a19c91c3891b7820.d: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/diag.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
 
-/root/repo/target/release/deps/libexo_core-a19c91c3891b7820.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
+/root/repo/target/release/deps/libexo_core-a19c91c3891b7820.rlib: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/diag.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
 
-/root/repo/target/release/deps/libexo_core-a19c91c3891b7820.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
+/root/repo/target/release/deps/libexo_core-a19c91c3891b7820.rmeta: crates/core/src/lib.rs crates/core/src/budget.rs crates/core/src/build.rs crates/core/src/check.rs crates/core/src/diag.rs crates/core/src/error.rs crates/core/src/ir.rs crates/core/src/path.rs crates/core/src/printer.rs crates/core/src/sym.rs crates/core/src/types.rs crates/core/src/visit.rs
 
 crates/core/src/lib.rs:
 crates/core/src/budget.rs:
 crates/core/src/build.rs:
 crates/core/src/check.rs:
+crates/core/src/diag.rs:
 crates/core/src/error.rs:
 crates/core/src/ir.rs:
 crates/core/src/path.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/exo_kernels-5e7cdda2d8e9b957.d: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/release/deps/libexo_kernels-5e7cdda2d8e9b957.rlib: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+/root/repo/target/release/deps/libexo_kernels-5e7cdda2d8e9b957.rmeta: crates/kernels/src/lib.rs crates/kernels/src/gemmini_conv.rs crates/kernels/src/gemmini_gemm.rs crates/kernels/src/x86_conv.rs crates/kernels/src/x86_gemm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/gemmini_conv.rs:
+crates/kernels/src/gemmini_gemm.rs:
+crates/kernels/src/x86_conv.rs:
+crates/kernels/src/x86_gemm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/exo_lint-7a07d2a01132250d.d: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/libexo_lint-7a07d2a01132250d.rlib: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+/root/repo/target/release/deps/libexo_lint-7a07d2a01132250d.rmeta: crates/lint/src/lib.rs crates/lint/src/depend.rs crates/lint/src/rules.rs
+
+crates/lint/src/lib.rs:
+crates/lint/src/depend.rs:
+crates/lint/src/rules.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/exo_sched-7a9e90567dc1a406.d: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/release/deps/libexo_sched-7a9e90567dc1a406.rlib: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+/root/repo/target/release/deps/libexo_sched-7a9e90567dc1a406.rmeta: crates/sched/src/lib.rs crates/sched/src/fold.rs crates/sched/src/handle.rs crates/sched/src/ops_calls.rs crates/sched/src/ops_config.rs crates/sched/src/ops_data.rs crates/sched/src/ops_loops.rs crates/sched/src/ops_parallel.rs crates/sched/src/pattern.rs crates/sched/src/unify.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/fold.rs:
+crates/sched/src/handle.rs:
+crates/sched/src/ops_calls.rs:
+crates/sched/src/ops_config.rs:
+crates/sched/src/ops_data.rs:
+crates/sched/src/ops_loops.rs:
+crates/sched/src/ops_parallel.rs:
+crates/sched/src/pattern.rs:
+crates/sched/src/unify.rs:

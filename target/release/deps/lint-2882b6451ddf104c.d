@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/lint-2882b6451ddf104c.d: crates/bench/src/bin/lint.rs
+
+/root/repo/target/release/deps/lint-2882b6451ddf104c: crates/bench/src/bin/lint.rs
+
+crates/bench/src/bin/lint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallelize-c7f9e7997455e782.d: tests/parallelize.rs
+
+/root/repo/target/release/deps/parallelize-c7f9e7997455e782: tests/parallelize.rs
+
+tests/parallelize.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-8d4ffc8fb5fdca45.d: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8d4ffc8fb5fdca45.rlib: third_party/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-8d4ffc8fb5fdca45.rmeta: third_party/proptest/src/lib.rs
+
+third_party/proptest/src/lib.rs:
