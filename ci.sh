@@ -39,6 +39,19 @@ echo "== chaos bench (smoke; fails on escaped panic or monotonicity violation) =
 EXO_CHAOS_SEED=42 EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
     cargo run --release -q -p exo-bench --bin chaos
 
+echo "== fig5a bench (GFLOP/s rows for the perf gate) =="
+EXO_BENCH_SMOKE=1 EXO_BENCH_DIR=target \
+    cargo run --release -q -p exo-bench --bin fig5a
+
+echo "== trace exports (validates Chrome JSON with the strict parser; =="
+echo "== reconciles per-operator query attribution) =="
+cargo run --release -q --example schedule_transcript > /dev/null
+
+echo "== perf gate (BENCH_* vs bench/baselines) =="
+# --warn-only while the gate beds in; drop the flag to fail CI on any
+# deterministic metric regressing more than 25% against the baselines.
+cargo run --release -q -p exo-bench --bin perf_diff -- --warn-only
+
 if [[ "${EXO_CI_FULL:-0}" == "1" ]]; then
     echo "== full: cargo test --workspace -q =="
     cargo test --workspace -q

@@ -73,17 +73,20 @@ impl EffectMemo {
         if exo_chaos::should_inject(exo_chaos::FaultSite::AnalysisCacheMiss) {
             self.misses += 1;
             exo_obs::counter_add("analysis.effect_memo.misses", 1);
+            exo_obs::attr::counter_add_by_op("analysis.effect_memo.misses", 1);
             return None;
         }
         match self.map.get(key) {
             Some(e) => {
                 self.hits += 1;
                 exo_obs::counter_add("analysis.effect_memo.hits", 1);
+                exo_obs::attr::counter_add_by_op("analysis.effect_memo.hits", 1);
                 Some(e.clone())
             }
             None => {
                 self.misses += 1;
                 exo_obs::counter_add("analysis.effect_memo.misses", 1);
+                exo_obs::attr::counter_add_by_op("analysis.effect_memo.misses", 1);
                 None
             }
         }
@@ -194,6 +197,9 @@ impl CheckCtx {
     pub fn check_sat(&mut self, f: &Formula) -> Answer {
         self.queries += 1;
         exo_obs::counter_add("check.queries", 1);
+        // Attribution: `check.queries.op.*` always sums to `check.queries`
+        // (and likewise for the hit/miss counters below).
+        exo_obs::attr::counter_add_by_op("check.queries", 1);
         // Budget: one fuel unit per query. Every safety analysis funnels its
         // obligations through here, so exhausting the pool mid-fixpoint
         // degrades the remaining obligations to `Unknown` — the rewrite is
@@ -217,6 +223,7 @@ impl CheckCtx {
             if let Some(&a) = self.cache.get(&key) {
                 self.hits += 1;
                 exo_obs::counter_add("check.cache_hits", 1);
+                exo_obs::attr::counter_add_by_op("check.cache_hits", 1);
                 return a;
             }
         }
@@ -226,6 +233,7 @@ impl CheckCtx {
         let a = self.solver.check_sat(&key);
         self.misses += 1;
         exo_obs::counter_add("check.cache_misses", 1);
+        exo_obs::attr::counter_add_by_op("check.cache_misses", 1);
         if !chaos_armed {
             exo_obs::counter_add("check.cache_entries", 1);
             self.cache.insert(key, a);

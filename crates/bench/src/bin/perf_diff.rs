@@ -1,0 +1,103 @@
+//! Perf-regression gate: compares the current run's `BENCH_*.json`
+//! files against committed baselines.
+//!
+//! ```text
+//! perf_diff [--baseline-dir bench/baselines] [--current-dir target]
+//!           [--threshold 0.25] [--out <path>] [--warn-only]
+//! ```
+//!
+//! Every `BENCH_*.json` in the baseline directory is diffed against its
+//! counterpart in the current directory on the deterministic-metric
+//! allowlist (`exo_bench::perf::SPECS`). The machine-readable report is
+//! written to `<current-dir>/PERF_DIFF.json` (or `--out`). Exit status:
+//! 0 when accepted (or `--warn-only`), 1 on a regression beyond the
+//! threshold, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use exo_bench::perf::{diff_dirs, render_report};
+
+struct Args {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    threshold: f64,
+    out: Option<PathBuf>,
+    warn_only: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline_dir: PathBuf::from("bench/baselines"),
+        current_dir: PathBuf::from("target"),
+        threshold: 0.25,
+        out: None,
+        warn_only: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
+        match a.as_str() {
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value("--baseline-dir")?),
+            "--current-dir" => args.current_dir = PathBuf::from(value("--current-dir")?),
+            "--threshold" => {
+                let v = value("--threshold")?;
+                args.threshold = v
+                    .parse::<f64>()
+                    .map_err(|e| format!("bad --threshold {v:?}: {e}"))?;
+                if !args.threshold.is_finite() || args.threshold <= 0.0 {
+                    return Err(format!("--threshold must be positive, got {v}"));
+                }
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            "--warn-only" => args.warn_only = true,
+            "--help" | "-h" => {
+                return Err("usage: perf_diff [--baseline-dir DIR] [--current-dir DIR] \
+                     [--threshold F] [--out PATH] [--warn-only]"
+                    .into())
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match diff_dirs(&args.baseline_dir, &args.current_dir, args.threshold) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "perf_diff: cannot diff {} vs {}: {e}",
+                args.baseline_dir.display(),
+                args.current_dir.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", render_report(&report));
+    let out_path = args
+        .out
+        .unwrap_or_else(|| args.current_dir.join("PERF_DIFF.json"));
+    if let Err(e) = std::fs::write(&out_path, format!("{}\n", report.to_json())) {
+        eprintln!("perf_diff: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("wrote {}", out_path.display());
+    let verdict = report.verdict();
+    if verdict.is_accepted() {
+        ExitCode::SUCCESS
+    } else if args.warn_only {
+        eprintln!("WARN (--warn-only): {verdict}");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: {verdict}");
+        ExitCode::FAILURE
+    }
+}

@@ -20,6 +20,8 @@
 //! models (see `DESIGN.md`); the claims under test are the *shapes*:
 //! who wins, by roughly what factor, and where crossovers fall.
 
+pub mod perf;
+
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -179,12 +181,14 @@ pub fn solver_stats_json(state: &StateRef) -> Json {
 
 /// Writes a `BENCH_<name>.json` trajectory file: the given records, one
 /// JSON object per line, followed by the global registry's counters,
-/// histograms, and events. The directory defaults to the current one and
-/// can be overridden with `EXO_BENCH_DIR`. Returns the path written.
+/// histograms, and events. The directory defaults to `target/` (kept out
+/// of version control; committed baselines live in `bench/baselines/`)
+/// and can be overridden with `EXO_BENCH_DIR`. Returns the path written.
 pub fn write_bench_json(name: &str, records: &[Json]) -> std::io::Result<PathBuf> {
     let dir = std::env::var_os("EXO_BENCH_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("."));
+        .unwrap_or_else(|| PathBuf::from("target"));
+    std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("BENCH_{name}.json"));
     let mut out = String::with_capacity(4096);
     for r in records {

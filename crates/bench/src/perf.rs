@@ -1,0 +1,641 @@
+//! Perf-regression gate over `BENCH_*.json` history.
+//!
+//! Compares the current run's trajectory files (written to `target/` by
+//! [`crate::write_bench_json`]) against committed baselines in
+//! `bench/baselines/`, metric by metric, with a relative threshold.
+//!
+//! Only *deterministic* metrics are gated: cost-model GFLOP/s, simulated
+//! cycles, solver-query counts, cache-hit ratios, chaos violation counts.
+//! Wall-clock metrics (`wall_us`, `wall_ms`, `time_us`, …) vary run to
+//! run on shared CI machines and are deliberately absent from the specs
+//! below — adding one would make the gate flaky by construction.
+//!
+//! The differ is a library so the `perf_diff` binary stays a thin shell
+//! and the regression semantics are unit-testable without spawning
+//! processes.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use exo_core::diag::Verdict;
+use exo_obs::Json;
+
+/// Whether a larger value is better or worse for a metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Bigger is better (GFLOP/s, utilization, hit ratio).
+    Higher,
+    /// Smaller is better (cycles, solver queries, violations).
+    Lower,
+}
+
+impl Direction {
+    /// Stable lowercase name for JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Direction::Higher => "higher",
+            Direction::Lower => "lower",
+        }
+    }
+}
+
+/// How to extract gated metrics from one record `type`.
+pub struct MetricSpec {
+    /// Value of the record's `type` field.
+    pub record_type: &'static str,
+    /// Fields concatenated to form the record key (empty ⇒ singleton).
+    pub key_fields: &'static [&'static str],
+    /// Gated numeric fields and their good direction.
+    pub metrics: &'static [(&'static str, Direction)],
+}
+
+/// The deterministic-metric allowlist. Record types not listed here
+/// (registry counters, histograms, events, per-run chaos records, lint
+/// findings) are skipped and counted in the report, never gated.
+pub const SPECS: &[MetricSpec] = &[
+    MetricSpec {
+        record_type: "gflops_row",
+        key_fields: &["size"],
+        metrics: &[
+            ("exo", Direction::Higher),
+            ("mkl", Direction::Higher),
+            ("openblas", Direction::Higher),
+        ],
+    },
+    MetricSpec {
+        record_type: "util_row",
+        key_fields: &["shape"],
+        metrics: &[
+            ("old_lib", Direction::Higher),
+            ("exo_lib", Direction::Higher),
+            ("hardware", Direction::Higher),
+            ("exo_cycles", Direction::Lower),
+        ],
+    },
+    MetricSpec {
+        record_type: "peak_row",
+        key_fields: &["impl"],
+        metrics: &[("fraction_of_peak", Direction::Higher)],
+    },
+    MetricSpec {
+        record_type: "check_cache_phase",
+        key_fields: &["phase"],
+        metrics: &[
+            ("queries", Direction::Lower),
+            ("hit_ratio", Direction::Higher),
+        ],
+    },
+    MetricSpec {
+        record_type: "check_cache_summary",
+        key_fields: &[],
+        metrics: &[("combined_hit_ratio", Direction::Higher)],
+    },
+    MetricSpec {
+        record_type: "chaos_summary",
+        key_fields: &[],
+        metrics: &[("violations", Direction::Lower)],
+    },
+    MetricSpec {
+        record_type: "smt_stats",
+        key_fields: &[],
+        metrics: &[("queries", Direction::Lower), ("gave_up", Direction::Lower)],
+    },
+    MetricSpec {
+        record_type: "microkernel_row",
+        key_fields: &["mr", "nr"],
+        metrics: &[
+            ("gflops_1536_cube", Direction::Higher),
+            ("gflops_8192x32x512", Direction::Higher),
+            ("gflops_32x8192x512", Direction::Higher),
+        ],
+    },
+    MetricSpec {
+        record_type: "codesize_row",
+        key_fields: &["app", "platform"],
+        metrics: &[("c_gen", Direction::Lower), ("sched", Direction::Lower)],
+    },
+];
+
+/// Outcome of one (record key, metric) comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Within threshold of the baseline.
+    Ok,
+    /// Better than baseline by more than the threshold (informational).
+    Improved,
+    /// Worse than baseline by more than the threshold (gate failure).
+    Regressed,
+    /// Present in the baseline, absent from the current run (warning).
+    Missing,
+    /// Present in the current run only (informational).
+    New,
+}
+
+impl Status {
+    /// Stable lowercase name for JSON export.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Improved => "improved",
+            Status::Regressed => "regressed",
+            Status::Missing => "missing",
+            Status::New => "new",
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// `type[key]` of the record the metric came from.
+    pub key: String,
+    /// Metric field name.
+    pub metric: &'static str,
+    /// Baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Current value, if present.
+    pub current: Option<f64>,
+    /// Signed relative change `(cur - base) / |base|`.
+    pub rel_change: Option<f64>,
+    /// Which direction is good for this metric.
+    pub direction: Direction,
+    /// Comparison outcome.
+    pub status: Status,
+}
+
+/// All deltas for one `BENCH_<name>.json` pair.
+#[derive(Clone, Debug)]
+pub struct FileDiff {
+    /// Bench name (`fig5a`, `check_cache`, …).
+    pub name: String,
+    /// Per-metric outcomes.
+    pub deltas: Vec<Delta>,
+    /// Record types seen but not gated (type → count), for visibility.
+    pub skipped: BTreeMap<String, usize>,
+    /// Set when the current run never produced the file at all.
+    pub current_file_missing: bool,
+}
+
+/// The whole gate result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Relative threshold (0.25 = 25%).
+    pub threshold: f64,
+    /// Per-file comparisons, sorted by bench name.
+    pub files: Vec<FileDiff>,
+}
+
+impl Report {
+    /// Every delta across all files.
+    pub fn deltas(&self) -> impl Iterator<Item = &Delta> {
+        self.files.iter().flat_map(|f| f.deltas.iter())
+    }
+
+    /// Gate verdict: rejected iff any metric regressed beyond the
+    /// threshold or a baselined bench produced no current file.
+    pub fn verdict(&self) -> Verdict {
+        let mut reasons: Vec<String> = Vec::new();
+        for f in &self.files {
+            if f.current_file_missing {
+                reasons.push(format!("{}: BENCH file missing from current run", f.name));
+            }
+            for d in f.deltas.iter().filter(|d| d.status == Status::Regressed) {
+                reasons.push(format!(
+                    "{}: {} {} changed {:+.1}% (threshold {:.0}%)",
+                    f.name,
+                    d.key,
+                    d.metric,
+                    d.rel_change.unwrap_or(f64::NAN) * 100.0,
+                    self.threshold * 100.0
+                ));
+            }
+        }
+        if reasons.is_empty() {
+            Verdict::Accepted
+        } else {
+            Verdict::Rejected(reasons.join("; "))
+        }
+    }
+
+    /// Counts by status across all files.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut c = BTreeMap::new();
+        for d in self.deltas() {
+            *c.entry(d.status.name()).or_insert(0) += 1;
+        }
+        c
+    }
+
+    /// Machine-readable form, written to `PERF_DIFF.json`.
+    pub fn to_json(&self) -> Json {
+        let verdict = self.verdict();
+        let mut fields = vec![
+            ("type".into(), Json::Str("perf_diff_report".into())),
+            ("threshold".into(), Json::Float(self.threshold)),
+            ("verdict".into(), Json::Str(verdict.name().into())),
+        ];
+        if let Some(why) = verdict.reason() {
+            fields.push(("reason".into(), Json::Str(why.into())));
+        }
+        for (status, n) in self.counts() {
+            fields.push((format!("n_{status}"), Json::uint(n as u64)));
+        }
+        fields.push((
+            "files".into(),
+            Json::Arr(
+                self.files
+                    .iter()
+                    .map(|f| {
+                        Json::obj(vec![
+                            ("name".into(), Json::Str(f.name.clone())),
+                            (
+                                "current_file_missing".into(),
+                                Json::Bool(f.current_file_missing),
+                            ),
+                            (
+                                "skipped_record_types".into(),
+                                Json::obj(
+                                    f.skipped
+                                        .iter()
+                                        .map(|(t, n)| (t.clone(), Json::uint(*n as u64)))
+                                        .collect(),
+                                ),
+                            ),
+                            (
+                                "deltas".into(),
+                                Json::Arr(f.deltas.iter().map(delta_json).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+fn delta_json(d: &Delta) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::Float).unwrap_or(Json::Null);
+    Json::obj(vec![
+        ("key".into(), Json::Str(d.key.clone())),
+        ("metric".into(), Json::Str(d.metric.into())),
+        ("baseline".into(), opt(d.baseline)),
+        ("current".into(), opt(d.current)),
+        ("rel_change".into(), opt(d.rel_change)),
+        ("direction".into(), Json::Str(d.direction.name().into())),
+        ("status".into(), Json::Str(d.status.name().into())),
+    ])
+}
+
+fn as_f64(v: &Json) -> Option<f64> {
+    match v {
+        Json::Int(i) => Some(*i as f64),
+        Json::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn field_label(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::Int(i) => i.to_string(),
+        Json::Float(f) => format!("{f}"),
+        Json::Bool(b) => b.to_string(),
+        other => other.to_string(),
+    }
+}
+
+/// Extracts gated metrics from one file's JSON lines. Returns
+/// `(key → metric → (value, direction), skipped type → count)`.
+/// Unparseable lines count under the pseudo-type `"<invalid>"`.
+#[allow(clippy::type_complexity)]
+pub fn extract_metrics(
+    text: &str,
+) -> (
+    BTreeMap<String, BTreeMap<&'static str, (f64, Direction)>>,
+    BTreeMap<String, usize>,
+) {
+    let mut metrics: BTreeMap<String, BTreeMap<&'static str, (f64, Direction)>> = BTreeMap::new();
+    let mut skipped: BTreeMap<String, usize> = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let Ok(v) = Json::parse(line) else {
+            *skipped.entry("<invalid>".into()).or_insert(0) += 1;
+            continue;
+        };
+        let Some(ty) = v.get("type").and_then(Json::as_str) else {
+            *skipped.entry("<untyped>".into()).or_insert(0) += 1;
+            continue;
+        };
+        let Some(spec) = SPECS.iter().find(|s| s.record_type == ty) else {
+            *skipped.entry(ty.to_string()).or_insert(0) += 1;
+            continue;
+        };
+        let mut key = spec.record_type.to_string();
+        if !spec.key_fields.is_empty() {
+            let parts: Vec<String> = spec
+                .key_fields
+                .iter()
+                .map(|f| v.get(f).map(field_label).unwrap_or_else(|| "?".into()))
+                .collect();
+            key.push_str(&format!("[{}]", parts.join(",")));
+        }
+        let entry = metrics.entry(key).or_default();
+        for &(name, dir) in spec.metrics {
+            if let Some(x) = v.get(name).and_then(as_f64) {
+                entry.insert(name, (x, dir));
+            }
+        }
+    }
+    (metrics, skipped)
+}
+
+/// Compares one baseline file's text against the current file's text.
+pub fn diff_file(name: &str, baseline: &str, current: Option<&str>, threshold: f64) -> FileDiff {
+    let (base_metrics, _) = extract_metrics(baseline);
+    let (cur_metrics, skipped) = match current {
+        Some(text) => extract_metrics(text),
+        None => (BTreeMap::new(), BTreeMap::new()),
+    };
+    let mut deltas = Vec::new();
+    for (key, base_fields) in &base_metrics {
+        let cur_fields = cur_metrics.get(key);
+        for (&metric, &(base, dir)) in base_fields {
+            let cur = cur_fields.and_then(|m| m.get(metric)).map(|&(x, _)| x);
+            deltas.push(compare(key, metric, base, cur, dir, threshold));
+        }
+    }
+    // metrics only the current run produced — informational
+    for (key, cur_fields) in &cur_metrics {
+        let base_fields = base_metrics.get(key);
+        for (&metric, &(cur, dir)) in cur_fields {
+            if base_fields.is_some_and(|m| m.contains_key(metric)) {
+                continue;
+            }
+            deltas.push(Delta {
+                key: key.clone(),
+                metric,
+                baseline: None,
+                current: Some(cur),
+                rel_change: None,
+                direction: dir,
+                status: Status::New,
+            });
+        }
+    }
+    FileDiff {
+        name: name.to_string(),
+        deltas,
+        skipped,
+        current_file_missing: current.is_none(),
+    }
+}
+
+fn compare(
+    key: &str,
+    metric: &'static str,
+    base: f64,
+    cur: Option<f64>,
+    dir: Direction,
+    threshold: f64,
+) -> Delta {
+    let Some(cur) = cur else {
+        return Delta {
+            key: key.to_string(),
+            metric,
+            baseline: Some(base),
+            current: None,
+            rel_change: None,
+            direction: dir,
+            status: Status::Missing,
+        };
+    };
+    // signed relative change; a zero baseline gets an infinite change
+    // unless the current value is also zero
+    let rel = if base == 0.0 {
+        if cur == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY * cur.signum()
+        }
+    } else {
+        (cur - base) / base.abs()
+    };
+    let worse = match dir {
+        Direction::Higher => -rel,
+        Direction::Lower => rel,
+    };
+    let status = if worse > threshold {
+        Status::Regressed
+    } else if worse < -threshold {
+        Status::Improved
+    } else {
+        Status::Ok
+    };
+    Delta {
+        key: key.to_string(),
+        metric,
+        baseline: Some(base),
+        current: Some(cur),
+        rel_change: Some(rel),
+        direction: dir,
+        status,
+    }
+}
+
+/// Diffs every `BENCH_*.json` under `baseline_dir` against its
+/// counterpart under `current_dir`.
+pub fn diff_dirs(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    threshold: f64,
+) -> std::io::Result<Report> {
+    let mut names: Vec<String> = Vec::new();
+    for entry in std::fs::read_dir(baseline_dir)? {
+        let entry = entry?;
+        let fname = entry.file_name().to_string_lossy().into_owned();
+        if let Some(stem) = fname
+            .strip_prefix("BENCH_")
+            .and_then(|s| s.strip_suffix(".json"))
+        {
+            names.push(stem.to_string());
+        }
+    }
+    names.sort();
+    let mut files = Vec::new();
+    for name in names {
+        let base_path = baseline_dir.join(format!("BENCH_{name}.json"));
+        let cur_path = current_dir.join(format!("BENCH_{name}.json"));
+        let baseline = std::fs::read_to_string(&base_path)?;
+        let current = std::fs::read_to_string(&cur_path).ok();
+        files.push(diff_file(&name, &baseline, current.as_deref(), threshold));
+    }
+    Ok(Report { threshold, files })
+}
+
+/// Renders the report as a human-readable table (one line per
+/// non-`Ok` delta, plus a per-file summary).
+pub fn render_report(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "perf_diff: threshold ±{:.0}% on deterministic metrics\n",
+        report.threshold * 100.0
+    ));
+    for f in &report.files {
+        let counts = {
+            let mut c: BTreeMap<&str, usize> = BTreeMap::new();
+            for d in &f.deltas {
+                *c.entry(d.status.name()).or_insert(0) += 1;
+            }
+            c.iter()
+                .map(|(s, n)| format!("{n} {s}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let missing = if f.current_file_missing {
+            " [CURRENT FILE MISSING]"
+        } else {
+            ""
+        };
+        out.push_str(&format!("  {}: {}{}\n", f.name, counts, missing));
+        for d in &f.deltas {
+            if d.status == Status::Ok {
+                continue;
+            }
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.4}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "    {:<10} {} {}: {} -> {} ({})\n",
+                d.status.name(),
+                d.key,
+                d.metric,
+                fmt(d.baseline),
+                fmt(d.current),
+                d.rel_change
+                    .map(|r| format!("{:+.1}%", r * 100.0))
+                    .unwrap_or_else(|| "n/a".into()),
+            ));
+        }
+    }
+    let verdict = report.verdict();
+    out.push_str(&format!("verdict: {verdict}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(records: &[Json]) -> String {
+        records.iter().map(|r| format!("{r}\n")).collect::<String>()
+    }
+
+    fn gflops_row(size: i64, exo: f64) -> Json {
+        Json::obj(vec![
+            ("type".into(), Json::Str("gflops_row".into())),
+            ("size".into(), Json::Int(size)),
+            ("exo".into(), Json::Float(exo)),
+            ("mkl".into(), Json::Float(100.0)),
+            ("openblas".into(), Json::Float(100.0)),
+        ])
+    }
+
+    #[test]
+    fn within_threshold_is_ok_and_beyond_is_regressed() {
+        let base = lines(&[gflops_row(256, 100.0)]);
+        let ok = lines(&[gflops_row(256, 80.0)]); // -20% < 25%
+        let bad = lines(&[gflops_row(256, 70.0)]); // -30% > 25%
+        let d = diff_file("fig5a", &base, Some(&ok), 0.25);
+        assert!(d.deltas.iter().all(|d| d.status == Status::Ok), "{d:?}");
+        let d = diff_file("fig5a", &base, Some(&bad), 0.25);
+        let exo = d
+            .deltas
+            .iter()
+            .find(|d| d.metric == "exo")
+            .expect("exo delta");
+        assert_eq!(exo.status, Status::Regressed);
+        assert!((exo.rel_change.unwrap() - -0.30).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_lower_flags_increases() {
+        let row = |q: i64| {
+            Json::obj(vec![
+                ("type".into(), Json::Str("check_cache_phase".into())),
+                ("phase".into(), Json::Str("cold".into())),
+                ("queries".into(), Json::Int(q)),
+                ("hit_ratio".into(), Json::Float(0.9)),
+            ])
+        };
+        let base = lines(&[row(100)]);
+        let worse = lines(&[row(140)]); // +40% queries, lower-is-better
+        let better = lines(&[row(50)]); // -50% queries
+        let d = diff_file("check_cache", &base, Some(&worse), 0.25);
+        assert!(d
+            .deltas
+            .iter()
+            .any(|d| d.metric == "queries" && d.status == Status::Regressed));
+        let d = diff_file("check_cache", &base, Some(&better), 0.25);
+        assert!(d
+            .deltas
+            .iter()
+            .any(|d| d.metric == "queries" && d.status == Status::Improved));
+    }
+
+    #[test]
+    fn missing_and_new_records_do_not_fail_the_gate() {
+        let base = lines(&[gflops_row(256, 100.0)]);
+        let cur = lines(&[gflops_row(512, 100.0)]);
+        let report = Report {
+            threshold: 0.25,
+            files: vec![diff_file("fig5a", &base, Some(&cur), 0.25)],
+        };
+        let statuses: Vec<Status> = report.deltas().map(|d| d.status).collect();
+        assert!(statuses.contains(&Status::Missing));
+        assert!(statuses.contains(&Status::New));
+        assert!(report.verdict().is_accepted(), "{}", report.verdict());
+    }
+
+    #[test]
+    fn missing_current_file_rejects() {
+        let base = lines(&[gflops_row(256, 100.0)]);
+        let report = Report {
+            threshold: 0.25,
+            files: vec![diff_file("fig5a", &base, None, 0.25)],
+        };
+        let v = report.verdict();
+        assert!(!v.is_accepted());
+        assert!(v.reason().unwrap().contains("missing"), "{v}");
+    }
+
+    #[test]
+    fn wall_clock_metrics_are_never_gated() {
+        let row = Json::obj(vec![
+            ("type".into(), Json::Str("check_cache_phase".into())),
+            ("phase".into(), Json::Str("cold".into())),
+            ("wall_us".into(), Json::Int(123_456)),
+            ("queries".into(), Json::Int(10)),
+            ("hit_ratio".into(), Json::Float(0.5)),
+        ]);
+        let (metrics, _) = extract_metrics(&lines(&[row]));
+        let fields = metrics.get("check_cache_phase[cold]").expect("record");
+        assert!(!fields.contains_key("wall_us"));
+        assert!(fields.contains_key("queries"));
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_strict_parser() {
+        let base = lines(&[gflops_row(256, 100.0)]);
+        let cur = lines(&[gflops_row(256, 60.0)]);
+        let report = Report {
+            threshold: 0.25,
+            files: vec![diff_file("fig5a", &base, Some(&cur), 0.25)],
+        };
+        let text = report.to_json().to_string();
+        let v = Json::parse(&text).expect("report JSON parses");
+        assert_eq!(
+            v.get("verdict").and_then(Json::as_str),
+            Some("rejected"),
+            "{text}"
+        );
+        assert!(v.get("reason").is_some());
+    }
+}

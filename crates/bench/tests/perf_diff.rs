@@ -1,0 +1,100 @@
+//! End-to-end tests for the `perf_diff` binary: a synthetic >25%
+//! regression must produce a nonzero exit and a machine-readable
+//! rejected verdict; a within-threshold run must pass; `--warn-only`
+//! must downgrade the failure to exit 0.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use exo_obs::Json;
+
+fn fixture(dir: &Path, exo: f64, queries: i64) {
+    std::fs::create_dir_all(dir).expect("mkdir fixture");
+    let rows = [
+        Json::obj(vec![
+            ("type".into(), Json::Str("gflops_row".into())),
+            ("size".into(), Json::Int(512)),
+            ("exo".into(), Json::Float(exo)),
+            ("mkl".into(), Json::Float(100.0)),
+            ("openblas".into(), Json::Float(100.0)),
+        ]),
+        Json::obj(vec![
+            ("type".into(), Json::Str("smt_stats".into())),
+            ("queries".into(), Json::Int(queries)),
+            ("gave_up".into(), Json::Int(0)),
+        ]),
+    ];
+    let text: String = rows.iter().map(|r| format!("{r}\n")).collect();
+    std::fs::write(dir.join("BENCH_fig5a.json"), text).expect("write fixture");
+}
+
+fn run(baseline: &Path, current: &Path, extra: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_diff"))
+        .arg("--baseline-dir")
+        .arg(baseline)
+        .arg("--current-dir")
+        .arg(current)
+        .args(extra)
+        .output()
+        .expect("spawn perf_diff");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}\n{stderr}"))
+}
+
+fn temp_pair(tag: &str) -> (PathBuf, PathBuf) {
+    let root = std::env::temp_dir().join(format!("perf_diff_{tag}_{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    (root.join("baseline"), root.join("current"))
+}
+
+#[test]
+fn synthetic_regression_beyond_threshold_exits_nonzero() {
+    let (base, cur) = temp_pair("regress");
+    fixture(&base, 100.0, 100);
+    fixture(&cur, 60.0, 100); // exo -40% against a 25% gate
+    let (ok, log) = run(&base, &cur, &[]);
+    assert!(!ok, "expected failure exit, got success:\n{log}");
+    assert!(log.contains("regressed"), "no regression reported:\n{log}");
+
+    let report = std::fs::read_to_string(cur.join("PERF_DIFF.json")).expect("report written");
+    let v = Json::parse(report.trim()).expect("report is strict JSON");
+    assert_eq!(v.get("verdict").and_then(Json::as_str), Some("rejected"));
+    let reason = v.get("reason").and_then(Json::as_str).expect("reason");
+    assert!(
+        reason.contains("exo"),
+        "reason should name the metric: {reason}"
+    );
+}
+
+#[test]
+fn within_threshold_run_passes() {
+    let (base, cur) = temp_pair("ok");
+    fixture(&base, 100.0, 100);
+    fixture(&cur, 90.0, 110); // -10% gflops, +10% queries: both inside 25%
+    let (ok, log) = run(&base, &cur, &[]);
+    assert!(ok, "expected success:\n{log}");
+    let report = std::fs::read_to_string(cur.join("PERF_DIFF.json")).expect("report written");
+    let v = Json::parse(report.trim()).expect("report is strict JSON");
+    assert_eq!(v.get("verdict").and_then(Json::as_str), Some("accepted"));
+}
+
+#[test]
+fn warn_only_downgrades_regression_to_success() {
+    let (base, cur) = temp_pair("warn");
+    fixture(&base, 100.0, 100);
+    fixture(&cur, 60.0, 200); // regressions on both metrics
+    let (ok, log) = run(&base, &cur, &["--warn-only"]);
+    assert!(ok, "--warn-only should exit 0:\n{log}");
+    assert!(log.contains("WARN"), "should still warn loudly:\n{log}");
+}
+
+#[test]
+fn query_count_increase_is_a_regression() {
+    let (base, cur) = temp_pair("queries");
+    fixture(&base, 100.0, 100);
+    fixture(&cur, 100.0, 200); // +100% solver queries, lower-is-better
+    let (ok, log) = run(&base, &cur, &[]);
+    assert!(!ok, "query blow-up should fail the gate:\n{log}");
+    assert!(log.contains("queries"), "{log}");
+}

@@ -70,7 +70,7 @@ pub mod types;
 pub mod visit;
 
 pub use budget::{BudgetError, Resource, ResourceBudget};
-pub use diag::{Diagnostic, Severity};
+pub use diag::{Diagnostic, Severity, Verdict};
 pub use error::{ErrorKind, ExoError};
 pub use ir::{
     ArgType, BinOp, Block, ConfigDecl, ConfigField, Expr, FnArg, InstrTemplate, Lit, Proc, Stmt,

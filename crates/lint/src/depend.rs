@@ -430,6 +430,11 @@ pub fn classify_loop(
             proc.name.name()
         )));
     };
+    // Attribution fallback: a standalone dependence probe owns its
+    // queries as `lint`; under `parallelize` the operator is the cause.
+    let _attr = exo_obs::AttrGuard::fallback("lint", iter.name());
+    let _span = exo_obs::Span::enter("lint.classify_loop")
+        .with_field("iter", exo_obs::Json::Str(iter.name()));
     let site = site_ctx(proc, path, reg)
         .ok_or_else(|| lerr(format!("classify_loop: invalid path {path}")))?;
     let lo_e = exo_analysis::globals::lift_in_env(lo, &site.genv, reg);
@@ -461,6 +466,7 @@ pub fn classify_loop(
     collect_atoms(&eff, &mut Vec::new(), &mut Vec::new(), &mut atoms);
 
     exo_obs::counter_add("lint.depend.loops", 1);
+    exo_obs::attr::counter_add_by_op("lint.depend.loops", 1);
     let mut reduction_bufs: Vec<Sym> = Vec::new();
     let mut unknown = false;
     for (n1, a1) in atoms.iter().enumerate() {

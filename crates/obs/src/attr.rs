@@ -1,0 +1,165 @@
+//! The active attribution context: *which scheduling operator is the
+//! system currently working for?*
+//!
+//! PR 1's flat counters answer "how many solver queries ran?"; this
+//! module answers "which operator caused them". `exo-sched` pushes an
+//! [`AttrGuard`] around every operator it runs, and every downstream
+//! cost site — solver queries, canonical-cache hits/misses, effect
+//! extraction, lint probes, simulated kernel runs — calls
+//! [`counter_add_by_op`] next to its flat counter, splitting the same
+//! total across `<name>.op.<operator>` sub-counters. By construction
+//! the attributed sub-counters of a name sum to the flat counter, so
+//! a cost table over them always reconciles against the global total.
+//!
+//! The context is a per-thread stack (operators can nest: `fuse`
+//! re-checks through `stage_mem`'s machinery); the innermost frame
+//! wins. Work performed outside any operator is attributed to
+//! [`UNATTRIBUTED`]. Standalone drivers that are not scheduling
+//! operators (the lint rule pack, benches) can claim otherwise-idle
+//! work with [`AttrGuard::fallback`], which yields an inert guard when
+//! an operator is already active.
+
+use std::cell::RefCell;
+
+/// Attribution label for work performed outside any context.
+pub const UNATTRIBUTED: &str = "unattributed";
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    op: String,
+    target: String,
+}
+
+/// RAII frame of the attribution stack; pops on drop.
+#[derive(Debug)]
+pub struct AttrGuard {
+    /// `fallback` on a non-empty stack produces an inert guard.
+    armed: bool,
+}
+
+impl AttrGuard {
+    /// Pushes an attribution frame: all attributable work on this
+    /// thread is tagged `op` until the guard drops (or a nested guard
+    /// shadows it).
+    pub fn enter(op: impl Into<String>, target: impl Into<String>) -> AttrGuard {
+        STACK.with(|s| {
+            s.borrow_mut().push(Frame {
+                op: op.into(),
+                target: target.into(),
+            })
+        });
+        AttrGuard { armed: true }
+    }
+
+    /// Pushes a frame only when no context is active — for drivers
+    /// (lint passes, benches) that want their own label *unless* a
+    /// scheduling operator is the real cause of the work.
+    pub fn fallback(op: impl Into<String>, target: impl Into<String>) -> AttrGuard {
+        let empty = STACK.with(|s| s.borrow().is_empty());
+        if empty {
+            AttrGuard::enter(op, target)
+        } else {
+            AttrGuard { armed: false }
+        }
+    }
+}
+
+impl Drop for AttrGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// The innermost attribution frame, as `(op, target)`.
+pub fn current() -> Option<(String, String)> {
+    STACK.with(|s| s.borrow().last().map(|f| (f.op.clone(), f.target.clone())))
+}
+
+/// The innermost operator name, or [`UNATTRIBUTED`].
+pub fn op_label() -> String {
+    STACK.with(|s| {
+        s.borrow()
+            .last()
+            .map_or_else(|| UNATTRIBUTED.to_string(), |f| f.op.clone())
+    })
+}
+
+/// Bumps the attributed sub-counter `<name>.op.<current op>`.
+///
+/// Call next to the flat `counter_add(name, …)` at the same site with
+/// the same delta; the attributed family then always sums to the flat
+/// counter.
+pub fn counter_add_by_op(name: &str, delta: u64) {
+    crate::counter_add(&format!("{name}.op.{}", op_label()), delta);
+}
+
+/// Sums the attributed family `<name>.op.*` of a flat counter —
+/// `(label, value)` pairs plus the total, for reconciliation against
+/// the flat counter itself.
+pub fn attributed_counters(registry: &crate::Registry, name: &str) -> (Vec<(String, u64)>, u64) {
+    let prefix = format!("{name}.op.");
+    let rows: Vec<(String, u64)> = registry
+        .counters()
+        .into_iter()
+        .filter_map(|(k, v)| k.strip_prefix(&prefix).map(|op| (op.to_string(), v)))
+        .collect();
+    let total = rows.iter().map(|(_, v)| v).sum();
+    (rows, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_nests_and_unwinds() {
+        assert_eq!(op_label(), UNATTRIBUTED);
+        {
+            let _a = AttrGuard::enter("split", "for i in _: _");
+            assert_eq!(current(), Some(("split".into(), "for i in _: _".into())));
+            {
+                let _b = AttrGuard::enter("stage_mem", "A");
+                assert_eq!(op_label(), "stage_mem");
+            }
+            assert_eq!(op_label(), "split");
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn fallback_defers_to_an_active_operator() {
+        {
+            let _lint = AttrGuard::fallback("lint", "dead-alloc");
+            assert_eq!(op_label(), "lint");
+        }
+        let _op = AttrGuard::enter("reorder", "for io in _: _");
+        let _lint = AttrGuard::fallback("lint", "dead-alloc");
+        assert_eq!(op_label(), "reorder");
+    }
+
+    #[test]
+    fn attributed_counters_sum_to_the_flat_total() {
+        let reg = crate::Registry::global();
+        {
+            let _a = AttrGuard::enter("attr_test_split", "x");
+            crate::counter_add("attr_test.queries", 3);
+            counter_add_by_op("attr_test.queries", 3);
+        }
+        crate::counter_add("attr_test.queries", 2);
+        counter_add_by_op("attr_test.queries", 2);
+        let (rows, total) = attributed_counters(reg, "attr_test.queries");
+        assert_eq!(total, reg.counter("attr_test.queries"));
+        assert!(rows
+            .iter()
+            .any(|(op, v)| op == "attr_test_split" && *v == 3));
+        assert!(rows.iter().any(|(op, v)| op == UNATTRIBUTED && *v == 2));
+    }
+}

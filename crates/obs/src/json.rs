@@ -92,8 +92,11 @@ impl fmt::Display for Json {
             Json::Float(v) => {
                 if v.is_finite() {
                     // always keep a decimal point so the value reparses
-                    // as a float
-                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                    // as a float; huge round floats (≥1e15) expand to
+                    // all-digit strings in Rust's Display, so they need
+                    // the same treatment or they reparse as integers
+                    // (or overflow the strict parser's i64 path)
+                    if v.fract() == 0.0 {
                         write!(f, "{v:.1}")
                     } else {
                         write!(f, "{v}")

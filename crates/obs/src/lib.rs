@@ -1,41 +1,55 @@
 //! # exo-obs
 //!
-//! Zero-dependency structured observability for the exo-rs pipeline.
+//! Std-only structured observability for the exo-rs pipeline (no
+//! external crates; the one workspace dependency is `exo-core`, which
+//! owns the shared severity/verdict vocabulary).
 //!
 //! The whole premise of exocompilation is that *users* drive
 //! optimization, which means users must be able to see what the system
 //! did on their behalf: which rewrite fired, what it checked, how many
-//! solver queries it cost, what the simulator measured. This crate is
-//! the measurement substrate threaded through every other crate:
+//! solver queries it cost, what the simulator measured — and *which
+//! scheduling operator caused each of those costs*. This crate is the
+//! measurement substrate threaded through every other crate:
 //!
-//! * [`span::Span`] — RAII wall-clock spans with per-thread nesting;
+//! * [`span::Span`] — RAII wall-clock spans forming a causal trace
+//!   tree: process-unique id, parent link, thread id, recorded into a
+//!   bounded ring buffer on the registry;
+//! * [`attr`] — the active attribution context (current scheduling
+//!   operator + target) and the `<counter>.op.<operator>` attributed
+//!   counter families that always sum to their flat counter;
 //! * [`registry::Registry`] — a thread-safe global sink for counters,
-//!   log₂ histograms, and structured events;
+//!   log₂ histograms, structured events, and trace spans;
 //! * [`json::Json`] — a hand-rolled JSON value (the sandbox has no
 //!   crates.io access, so serialization is std-only) with a strict
 //!   parser used to validate exported lines;
 //! * [`provenance::ProvenanceEvent`] — one applied-or-rejected
 //!   scheduling rewrite: operator, target, check verdict, statement
-//!   delta, solver-query delta, duration. `exo_sched::Procedure`
-//!   accumulates these into its schedule transcript.
+//!   delta, query/cache-hit deltas, duration. `exo_sched::Procedure`
+//!   accumulates these into its schedule transcript, rendered with a
+//!   per-operator cost table.
 //!
 //! Sinks: [`registry::Registry::transcript`] renders a human-readable
 //! indented log; [`registry::Registry::json_lines`] exports everything
 //! as machine-readable JSON lines (one object per line), the format the
-//! `BENCH_*.json` trajectory files use.
+//! `BENCH_*.json` trajectory files use; [`export`] renders the trace
+//! ring as Chrome `trace_event` JSON (`chrome://tracing`/Perfetto) or
+//! collapsed flamegraph stacks.
 
 // Panic-free library surface: input-reachable failures must be typed
 // errors, not aborts. Unit tests may unwrap freely.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod attr;
+pub mod export;
 pub mod json;
 pub mod provenance;
 pub mod registry;
 pub mod span;
 
+pub use attr::AttrGuard;
 pub use json::Json;
-pub use provenance::{render_transcript, ProvenanceEvent, Verdict};
-pub use registry::{Event, Histogram, Registry};
+pub use provenance::{per_op_costs, render_transcript, OpCost, ProvenanceEvent, Verdict};
+pub use registry::{Event, Histogram, Registry, TraceSpan};
 pub use span::Span;
 
 /// Adds `delta` to the named global counter.

@@ -6,36 +6,22 @@
 //! each step's safety-check verdict and cost. Rejected rewrites leave
 //! the procedure untouched, so they appear only in the global registry,
 //! never in a procedure's own transcript.
-
-use std::fmt;
+//!
+//! Verdicts use the one shared vocabulary of
+//! [`exo_core::diag::Verdict`] — the same `name()` spelling the lint
+//! diagnostics JSON uses for severities, so machine consumers of
+//! transcript exports and lint exports read one dialect.
+//!
+//! [`render_transcript`] folds a per-operator cost table under the
+//! per-rewrite listing: for each operator, how many rewrites, how many
+//! checking-context queries they caused, the cache hit ratio, the wall
+//! time, and the net statement delta — the attribution view of "what
+//! did my schedule cost".
 
 use crate::json::Json;
 use crate::registry::format_us;
 
-/// Outcome of a scheduling operator's safety check.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Verdict {
-    /// The rewrite was applied; its checks (if any) passed.
-    Accepted,
-    /// The rewrite was refused; the message says why.
-    Rejected(String),
-}
-
-impl Verdict {
-    /// Whether the rewrite went through.
-    pub fn is_accepted(&self) -> bool {
-        matches!(self, Verdict::Accepted)
-    }
-}
-
-impl fmt::Display for Verdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Verdict::Accepted => f.write_str("ok"),
-            Verdict::Rejected(why) => write!(f, "rejected: {why}"),
-        }
-    }
-}
+pub use exo_core::diag::Verdict;
 
 /// One applied (or rejected) scheduling rewrite.
 #[derive(Clone, Debug, PartialEq)]
@@ -51,30 +37,97 @@ pub struct ProvenanceEvent {
     /// Statement count after the rewrite (equals `pre_stmts` on
     /// rejection).
     pub post_stmts: usize,
-    /// Solver queries issued while the operator ran.
+    /// Checking-context queries issued while the operator ran
+    /// (including canonical-cache hits).
     pub smt_queries: usize,
+    /// How many of those queries the canonical verdict cache answered.
+    pub cache_hits: usize,
     /// Wall-clock duration of the operator.
     pub duration_us: u64,
 }
 
 impl ProvenanceEvent {
-    /// JSON form (one line of a transcript export).
+    /// JSON form (one line of a transcript export). The `verdict` field
+    /// carries the shared [`Verdict::name`] vocabulary; the rejection
+    /// reason, when present, is a separate `reason` field.
     pub fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("type".into(), Json::Str("rewrite".into())),
             ("op".into(), Json::Str(self.op.clone())),
             ("target".into(), Json::Str(self.target.clone())),
-            ("verdict".into(), Json::Str(self.verdict.to_string())),
+            ("verdict".into(), Json::Str(self.verdict.name().into())),
+        ];
+        if let Some(reason) = self.verdict.reason() {
+            fields.push(("reason".into(), Json::Str(reason.into())));
+        }
+        fields.extend([
             ("pre_stmts".into(), Json::uint(self.pre_stmts as u64)),
             ("post_stmts".into(), Json::uint(self.post_stmts as u64)),
             ("smt_queries".into(), Json::uint(self.smt_queries as u64)),
+            ("cache_hits".into(), Json::uint(self.cache_hits as u64)),
             ("dur_us".into(), Json::uint(self.duration_us)),
-        ])
+        ]);
+        Json::obj(fields)
     }
 }
 
-/// Renders a human-readable schedule transcript, one numbered line per
-/// rewrite (the `proc.transcript_text()` view).
+/// One row of the per-operator cost table: the aggregate cost of every
+/// rewrite sharing an operator name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpCost {
+    /// Operator name.
+    pub op: String,
+    /// Number of rewrites.
+    pub count: usize,
+    /// Checking-context queries caused (incl. cache hits).
+    pub queries: usize,
+    /// Queries answered by the canonical verdict cache.
+    pub cache_hits: usize,
+    /// Total wall time, µs.
+    pub wall_us: u64,
+    /// Net statement delta (post − pre summed over rewrites).
+    pub stmt_delta: i64,
+}
+
+impl OpCost {
+    /// Cache hit ratio (0 when no queries ran).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.queries as f64
+        }
+    }
+}
+
+/// Aggregates provenance events into the per-operator cost table,
+/// sorted by descending query count (the "who caused these queries"
+/// ordering), ties broken by name.
+pub fn per_op_costs(events: &[ProvenanceEvent]) -> Vec<OpCost> {
+    let mut by_op: std::collections::BTreeMap<&str, OpCost> = Default::default();
+    for e in events {
+        let row = by_op.entry(&e.op).or_insert_with(|| OpCost {
+            op: e.op.clone(),
+            count: 0,
+            queries: 0,
+            cache_hits: 0,
+            wall_us: 0,
+            stmt_delta: 0,
+        });
+        row.count += 1;
+        row.queries += e.smt_queries;
+        row.cache_hits += e.cache_hits;
+        row.wall_us += e.duration_us;
+        row.stmt_delta += e.post_stmts as i64 - e.pre_stmts as i64;
+    }
+    let mut rows: Vec<OpCost> = by_op.into_values().collect();
+    rows.sort_by(|a, b| b.queries.cmp(&a.queries).then(a.op.cmp(&b.op)));
+    rows
+}
+
+/// Renders a human-readable schedule transcript: one numbered line per
+/// rewrite (the `proc.transcript_text()` view), then the per-operator
+/// cost table.
 pub fn render_transcript(proc_name: &str, events: &[ProvenanceEvent]) -> String {
     let total_us: u64 = events.iter().map(|e| e.duration_us).sum();
     let total_q: usize = events.iter().map(|e| e.smt_queries).sum();
@@ -100,6 +153,41 @@ pub fn render_transcript(proc_name: &str, events: &[ProvenanceEvent]) -> String 
             format_us(e.duration_us),
         ));
     }
+    let costs = per_op_costs(events);
+    if !costs.is_empty() {
+        out.push_str("per-operator cost:\n");
+        out.push_str(&format!(
+            "  {:<16} {:>3} {:>8} {:>6} {:>5} {:>9} {:>7}\n",
+            "op", "n", "queries", "hits", "hit%", "wall", "Δstmts"
+        ));
+        for c in &costs {
+            out.push_str(&format!(
+                "  {:<16} {:>3} {:>8} {:>6} {:>4.0}% {:>9} {:>+7}\n",
+                c.op,
+                c.count,
+                c.queries,
+                c.cache_hits,
+                c.hit_ratio() * 100.0,
+                format_us(c.wall_us),
+                c.stmt_delta,
+            ));
+        }
+        let hits: usize = costs.iter().map(|c| c.cache_hits).sum();
+        out.push_str(&format!(
+            "  {:<16} {:>3} {:>8} {:>6} {:>4.0}% {:>9} {:>+7}\n",
+            "total",
+            events.len(),
+            total_q,
+            hits,
+            if total_q == 0 {
+                0.0
+            } else {
+                hits as f64 / total_q as f64 * 100.0
+            },
+            format_us(total_us),
+            costs.iter().map(|c| c.stmt_delta).sum::<i64>(),
+        ));
+    }
     out
 }
 
@@ -115,6 +203,7 @@ mod tests {
             pre_stmts: 3,
             post_stmts: 5,
             smt_queries: 2,
+            cache_hits: 1,
             duration_us: 1500,
         }
     }
@@ -123,14 +212,42 @@ mod tests {
     fn transcript_renders_each_rewrite_in_order() {
         let text = render_transcript("gemm", &[ev("split"), ev("reorder")]);
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("`gemm`") && lines[0].contains("2 directives"));
         assert!(lines[0].contains("4 smt queries") && lines[0].contains("3.0ms"));
         assert!(lines[1]
             .trim_start()
-            .starts_with("1. split(for i in _: _) ok"));
+            .starts_with("1. split(for i in _: _) accepted"));
         assert!(lines[2].trim_start().starts_with("2. reorder("));
         assert!(lines[1].contains("stmts 3→5"));
+    }
+
+    #[test]
+    fn transcript_folds_a_per_operator_cost_table() {
+        let text = render_transcript("gemm", &[ev("split"), ev("split"), ev("reorder")]);
+        assert!(text.contains("per-operator cost:"), "{text}");
+        let split_row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("split"))
+            .unwrap();
+        // 2 rewrites, 4 queries, 2 hits, 50%, +4 statements
+        assert!(split_row.contains(" 2 "), "{split_row}");
+        assert!(split_row.contains(" 4 "), "{split_row}");
+        assert!(split_row.contains("50%"), "{split_row}");
+        assert!(split_row.contains("+4"), "{split_row}");
+        let total_row = text.lines().last().unwrap();
+        assert!(total_row.trim_start().starts_with("total"), "{total_row}");
+        assert!(total_row.contains(" 6 "), "{total_row}");
+    }
+
+    #[test]
+    fn per_op_costs_sort_by_query_count() {
+        let mut cheap = ev("cheap");
+        cheap.smt_queries = 0;
+        cheap.cache_hits = 0;
+        let rows = per_op_costs(&[cheap, ev("split"), ev("split")]);
+        assert_eq!(rows[0].op, "split");
+        assert_eq!(rows[0].queries, 4);
+        assert_eq!(rows[1].op, "cheap");
     }
 
     #[test]
@@ -138,7 +255,27 @@ mod tests {
         let e = ev("stage_mem");
         let parsed = crate::json::Json::parse(&e.to_json().to_string()).unwrap();
         assert_eq!(parsed.get("op").and_then(Json::as_str), Some("stage_mem"));
-        assert_eq!(parsed.get("verdict").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("accepted")
+        );
+        assert_eq!(parsed.get("reason"), None);
         assert_eq!(parsed.get("smt_queries").and_then(Json::as_int), Some(2));
+        assert_eq!(parsed.get("cache_hits").and_then(Json::as_int), Some(1));
+    }
+
+    #[test]
+    fn rejected_events_carry_the_reason_separately() {
+        let mut e = ev("split");
+        e.verdict = Verdict::Rejected("no match".into());
+        let parsed = crate::json::Json::parse(&e.to_json().to_string()).unwrap();
+        assert_eq!(
+            parsed.get("verdict").and_then(Json::as_str),
+            Some("rejected")
+        );
+        assert_eq!(
+            parsed.get("reason").and_then(Json::as_str),
+            Some("no match")
+        );
     }
 }

@@ -8,11 +8,37 @@
 //! ([`Registry::set_enabled`]) that reduces every call to one atomic
 //! load.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 use crate::json::Json;
+
+/// Default capacity of the trace ring buffer (closed spans retained for
+/// export). At ~100 bytes per span this bounds trace memory at a few
+/// megabytes; older spans are evicted first and counted in
+/// [`Registry::dropped_traces`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One closed span in the causal trace tree (the ring-buffer record the
+/// Chrome-trace and flamegraph exporters consume).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceSpan {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Dense per-thread trace id (see [`crate::span::current_tid`]).
+    pub tid: u64,
+    /// Dotted span name, e.g. `sched.split`.
+    pub name: String,
+    /// Attribution context at entry: `(operator, target)`.
+    pub op: Option<(String, String)>,
+    /// Start offset from the process trace epoch, µs.
+    pub start_us: u64,
+    /// Wall-clock duration, µs.
+    pub dur_us: u64,
+}
 
 /// A fixed-bin log₂ histogram (bin `i` holds values in `[2^(i-1), 2^i)`,
 /// bin 0 holds zero).
@@ -141,12 +167,28 @@ impl Event {
     }
 }
 
-#[derive(Default)]
 struct Inner {
     counters: BTreeMap<String, u64>,
     hists: BTreeMap<String, Histogram>,
     events: Vec<Event>,
     seq: u64,
+    traces: VecDeque<TraceSpan>,
+    trace_capacity: usize,
+    dropped_traces: u64,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
+            events: Vec::new(),
+            seq: 0,
+            traces: VecDeque::new(),
+            trace_capacity: DEFAULT_TRACE_CAPACITY,
+            dropped_traces: 0,
+        }
+    }
 }
 
 /// Thread-safe sink for counters, histograms, and events.
@@ -286,10 +328,54 @@ impl Registry {
         self.lock().events.clone()
     }
 
-    /// Drops all recorded state (events, counters, histograms).
+    /// Records one closed span into the bounded trace ring buffer,
+    /// evicting the oldest span when full.
+    pub fn record_trace(&self, span: TraceSpan) {
+        if !self.enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.trace_capacity == 0 {
+            inner.dropped_traces += 1;
+            return;
+        }
+        while inner.traces.len() >= inner.trace_capacity {
+            inner.traces.pop_front();
+            inner.dropped_traces += 1;
+        }
+        inner.traces.push_back(span);
+    }
+
+    /// Snapshot of retained trace spans, oldest first.
+    pub fn traces(&self) -> Vec<TraceSpan> {
+        self.lock().traces.iter().cloned().collect()
+    }
+
+    /// Resizes the trace ring buffer (evicting oldest spans if shrinking).
+    pub fn set_trace_capacity(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.trace_capacity = capacity;
+        while inner.traces.len() > capacity {
+            inner.traces.pop_front();
+            inner.dropped_traces += 1;
+        }
+    }
+
+    /// Number of trace spans evicted (or refused) by the ring buffer so
+    /// far — nonzero means exported traces are truncated at the front.
+    pub fn dropped_traces(&self) -> u64 {
+        self.lock().dropped_traces
+    }
+
+    /// Drops all recorded state (events, counters, histograms, traces).
+    /// The trace-ring capacity survives.
     pub fn clear(&self) {
         let mut inner = self.lock();
-        *inner = Inner::default();
+        let capacity = inner.trace_capacity;
+        *inner = Inner {
+            trace_capacity: capacity,
+            ..Inner::default()
+        };
     }
 
     /// Renders a human-readable indented transcript of all events,
@@ -421,6 +507,41 @@ mod tests {
         assert_eq!(reg.counter("x"), 0);
         assert!(reg.events().is_empty());
         assert!(reg.histogram("h").is_none());
+    }
+
+    #[test]
+    fn trace_ring_is_bounded_and_counts_drops() {
+        let reg = Registry::new();
+        reg.set_trace_capacity(3);
+        for id in 1..=5u64 {
+            reg.record_trace(TraceSpan {
+                id,
+                parent: None,
+                tid: 1,
+                name: format!("s{id}"),
+                op: None,
+                start_us: id,
+                dur_us: 1,
+            });
+        }
+        let kept: Vec<u64> = reg.traces().iter().map(|t| t.id).collect();
+        assert_eq!(kept, vec![3, 4, 5]);
+        assert_eq!(reg.dropped_traces(), 2);
+        reg.clear();
+        assert!(reg.traces().is_empty());
+        // capacity survives a clear
+        for id in 1..=4u64 {
+            reg.record_trace(TraceSpan {
+                id,
+                parent: None,
+                tid: 1,
+                name: "s".into(),
+                op: None,
+                start_us: 0,
+                dur_us: 0,
+            });
+        }
+        assert_eq!(reg.traces().len(), 3);
     }
 
     #[test]

@@ -1,42 +1,102 @@
-//! RAII wall-clock spans with per-thread nesting.
+//! RAII wall-clock spans forming a causal trace tree.
 //!
-//! `Span::enter("sched.split")` bumps the calling thread's depth; when
-//! the guard drops, the span is recorded on the global registry with its
-//! duration, and any events emitted while the guard lived carry a deeper
-//! indentation in the transcript.
+//! `Span::enter("sched.split")` assigns the span a process-unique id,
+//! links it to the calling thread's innermost open span (its *parent*),
+//! and bumps the thread's depth; when the guard drops, the span is
+//! recorded on the global registry twice: as a transcript [`Event`]
+//! (as before), and as a [`TraceSpan`] in the bounded trace ring
+//! buffer — id, parent id, thread id, start offset, duration, and the
+//! attribution context active at entry. The ring buffer is what the
+//! Chrome-trace and flamegraph exporters consume (see
+//! [`crate::export`]).
+//!
+//! [`Event`]: crate::registry::Event
 
-use std::cell::Cell;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use crate::json::Json;
-use crate::registry::Registry;
+use crate::registry::{Registry, TraceSpan};
 
 thread_local! {
-    static DEPTH: Cell<usize> = const { Cell::new(0) };
+    /// Ids of the calling thread's open spans, outermost first. The
+    /// length is the nesting depth; the last element is the parent of
+    /// the next span to open.
+    static OPEN: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Small dense per-thread id (Chrome's `tid`); `ThreadId` has no
+    /// stable integer form, so we mint our own.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+/// The process trace epoch: all span start offsets are measured from
+/// the first call (so traces from one process share one timeline).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
 }
 
 /// The calling thread's current span-nesting depth.
 pub fn current_depth() -> usize {
-    DEPTH.with(Cell::get)
+    OPEN.with(|o| o.borrow().len())
 }
 
-/// An open span; records itself (name, fields, duration) when dropped.
+/// The calling thread's dense trace thread id.
+pub fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// An open span; records itself (name, fields, duration, trace links)
+/// when dropped.
 #[derive(Debug)]
 pub struct Span {
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
     name: String,
     fields: Vec<(String, Json)>,
+    /// Attribution context at entry (operator, target), if any.
+    op: Option<(String, String)>,
+    start_us: u64,
     start: Instant,
 }
 
 impl Span {
-    /// Opens a span and increases the thread's nesting depth.
+    /// Opens a span: assigns it a fresh id, parents it under the
+    /// thread's innermost open span, and increases the nesting depth.
     pub fn enter(name: impl Into<String>) -> Span {
-        DEPTH.with(|d| d.set(d.get() + 1));
+        let start_us = u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX);
+        let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = OPEN.with(|o| {
+            let mut o = o.borrow_mut();
+            let parent = o.last().copied();
+            o.push(id);
+            parent
+        });
         Span {
+            id,
+            parent,
+            tid: current_tid(),
             name: name.into(),
             fields: Vec::new(),
+            op: crate::attr::current(),
+            start_us,
             start: Instant::now(),
         }
+    }
+
+    /// The span's process-unique id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the enclosing span on this thread, if any.
+    pub fn parent_id(&self) -> Option<u64> {
+        self.parent
     }
 
     /// Attaches a structured field, builder-style.
@@ -59,9 +119,28 @@ impl Span {
 impl Drop for Span {
     fn drop(&mut self) {
         let dur = self.elapsed_us();
+        let registry = Registry::global();
         // record at the depth *inside* the span, then pop
-        Registry::global().record_event(&self.name, std::mem::take(&mut self.fields), Some(dur));
-        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        registry.record_event(&self.name, std::mem::take(&mut self.fields), Some(dur));
+        registry.record_trace(TraceSpan {
+            id: self.id,
+            parent: self.parent,
+            tid: self.tid,
+            name: std::mem::take(&mut self.name),
+            op: self.op.take(),
+            start_us: self.start_us,
+            dur_us: dur,
+        });
+        OPEN.with(|o| {
+            let mut o = o.borrow_mut();
+            // Spans are scope-bound in practice; tolerate out-of-order
+            // drops by removing this id wherever it sits.
+            if o.last() == Some(&self.id) {
+                o.pop();
+            } else {
+                o.retain(|&x| x != self.id);
+            }
+        });
     }
 }
 
@@ -71,8 +150,10 @@ mod tests {
 
     #[test]
     fn spans_nest_and_record_depth() {
+        // No `clear()`: the global registry is shared with concurrently
+        // running tests; filtering by this test's unique name prefix is
+        // isolation enough.
         let reg = Registry::global();
-        reg.clear();
         {
             let _outer = Span::enter("test_span.outer");
             {
@@ -101,5 +182,28 @@ mod tests {
         assert_eq!(events[2].depth, 1);
         assert!(events[2].duration_us.is_some());
         assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn trace_records_carry_parent_links_and_attribution() {
+        let reg = Registry::global();
+        let (outer_id, inner_id);
+        {
+            let _attr = crate::attr::AttrGuard::enter("span_test_op", "t");
+            let outer = Span::enter("trace_span.outer");
+            outer_id = outer.id();
+            let inner = Span::enter("trace_span.inner");
+            inner_id = inner.id();
+            assert_eq!(inner.parent_id(), Some(outer_id));
+            drop(inner);
+            drop(outer);
+        }
+        let traces = reg.traces();
+        let outer = traces.iter().find(|t| t.id == outer_id).unwrap();
+        let inner = traces.iter().find(|t| t.id == inner_id).unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(inner.tid, outer.tid);
+        assert_eq!(inner.op.as_ref().unwrap().0, "span_test_op");
+        assert!(inner.start_us >= outer.start_us);
     }
 }

@@ -1,0 +1,105 @@
+//! Round-trip coverage for the hand-rolled `exo_obs::json` module: the
+//! printer and strict parser must agree on escapes, nesting, and number
+//! forms, and the parser must reject malformed documents rather than
+//! guessing — every exporter in the workspace (BENCH files, Chrome
+//! traces, perf_diff reports) leans on these two functions.
+
+use exo_obs::Json;
+
+fn roundtrip(v: &Json) -> Json {
+    let text = v.to_string();
+    Json::parse(&text).unwrap_or_else(|e| panic!("reparse {text:?}: {e}"))
+}
+
+#[test]
+fn escapes_round_trip() {
+    let nasty = "quote:\" backslash:\\ newline:\n tab:\t cr:\r nul:\u{0} unicode:µs→λ";
+    let v = Json::obj(vec![
+        ("s".into(), Json::Str(nasty.into())),
+        // keys need escaping too
+        ("needs \"escaping\"\n".into(), Json::Int(1)),
+    ]);
+    let back = roundtrip(&v);
+    assert_eq!(back.get("s").and_then(Json::as_str), Some(nasty));
+    assert_eq!(
+        back.get("needs \"escaping\"\n").and_then(Json::as_int),
+        Some(1)
+    );
+}
+
+#[test]
+fn nested_structures_round_trip() {
+    let v = Json::obj(vec![
+        (
+            "arr".into(),
+            Json::Arr(vec![
+                Json::Null,
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Int(-42),
+                Json::Float(1.5),
+                Json::Arr(vec![Json::obj(vec![(
+                    "deep".into(),
+                    Json::Str("value".into()),
+                )])]),
+            ]),
+        ),
+        ("empty_arr".into(), Json::Arr(vec![])),
+        ("empty_obj".into(), Json::obj(vec![])),
+    ]);
+    assert_eq!(roundtrip(&v), v);
+}
+
+#[test]
+fn numbers_round_trip_with_type_preserved() {
+    // integers stay Int; floats always print with a decimal point so
+    // they reparse as Float
+    assert_eq!(roundtrip(&Json::Int(i64::MAX)), Json::Int(i64::MAX));
+    assert_eq!(roundtrip(&Json::Int(i64::MIN)), Json::Int(i64::MIN));
+    assert_eq!(roundtrip(&Json::Float(3.0)), Json::Float(3.0));
+    assert_eq!(roundtrip(&Json::Float(-0.125)), Json::Float(-0.125));
+    assert_eq!(roundtrip(&Json::Float(1e300)), Json::Float(1e300));
+}
+
+#[test]
+fn non_finite_floats_degrade_to_null() {
+    // JSON has no NaN/Inf; the printer emits null (like serde_json)
+    assert_eq!(roundtrip(&Json::Float(f64::NAN)), Json::Null);
+    assert_eq!(roundtrip(&Json::Float(f64::INFINITY)), Json::Null);
+}
+
+#[test]
+fn parser_rejects_malformed_documents() {
+    let bad = [
+        "",
+        "{",
+        "}",
+        "[1,]",
+        "{\"a\":}",
+        "{\"a\" 1}",
+        "{'a': 1}",
+        "\"unterminated",
+        "tru",
+        "1 2",          // trailing characters
+        "{\"a\":1} {}", // two documents
+        "[1, 2,,3]",
+        "\"bad escape \\q\"",
+        "nan",
+    ];
+    for text in bad {
+        assert!(
+            Json::parse(text).is_err(),
+            "parser accepted malformed input {text:?}"
+        );
+    }
+}
+
+#[test]
+fn parser_accepts_whitespace_variants() {
+    let v = Json::parse(" {\n\t\"a\" : [ 1 , 2 ] ,\r\n \"b\" : null } ").expect("parses");
+    assert_eq!(
+        v.get("a"),
+        Some(&Json::Arr(vec![Json::Int(1), Json::Int(2)]))
+    );
+    assert_eq!(v.get("b"), Some(&Json::Null));
+}

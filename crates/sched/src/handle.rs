@@ -442,10 +442,17 @@ impl Procedure {
     ) -> Result<Procedure, SchedError> {
         let target = target.into();
         let pre_stmts = self.stmt_count();
-        let (pre_queries, budget) = {
+        let (pre_check, budget) = {
             let st = lock_state(&self.state);
-            (st.check.stats().queries, st.budget.clone())
+            (st.check.stats(), st.budget.clone())
         };
+        // Attribution: everything this operator causes downstream —
+        // solver queries, cache hits/misses, effect extraction, lint
+        // probes, simulated runs — is tagged with (op, target), and the
+        // operator's span parents theirs in the trace tree.
+        let _attr = exo_obs::AttrGuard::enter(op, &target);
+        let span = exo_obs::Span::enter(format!("sched.{op}"))
+            .with_field("target", exo_obs::Json::Str(target.clone()));
         let start = Instant::now();
         // One fuel unit per operator; an exhausted budget rejects the
         // rewrite up front (conservative, transactional) instead of
@@ -467,11 +474,10 @@ impl Procedure {
             })
         };
         let duration_us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        let smt_queries = lock_state(&self.state)
-            .check
-            .stats()
-            .queries
-            .saturating_sub(pre_queries);
+        let post_check = lock_state(&self.state).check.stats();
+        let smt_queries = post_check.queries.saturating_sub(pre_check.queries);
+        let cache_hits = post_check.hits.saturating_sub(pre_check.hits);
+        drop(span);
         exo_obs::counter_add(&format!("sched.op.{op}"), 1);
         exo_obs::record_hist("sched.op_us", duration_us);
         match result {
@@ -483,6 +489,7 @@ impl Procedure {
                     pre_stmts,
                     post_stmts: derived.stmt_count(),
                     smt_queries,
+                    cache_hits,
                     duration_us,
                 });
                 Ok(derived)
@@ -497,6 +504,7 @@ impl Procedure {
                     pre_stmts,
                     post_stmts: pre_stmts,
                     smt_queries,
+                    cache_hits,
                     duration_us,
                 };
                 exo_obs::event(

@@ -119,6 +119,10 @@ impl Solver {
     pub fn check_sat(&mut self, f: &Formula) -> Answer {
         self.stats.queries += 1;
         exo_obs::counter_add("smt.queries", 1);
+        // Attribution: split the same total by the scheduling operator
+        // (or lint pass) that caused the query — `smt.queries.op.*`
+        // always sums to `smt.queries`.
+        exo_obs::attr::counter_add_by_op("smt.queries", 1);
         // Chaos injection: pretend QE blew its budget. Answered *before* any
         // cache interaction so the injected verdict can never contaminate
         // later clean queries; `Unknown` is always a sound (conservative)
@@ -131,9 +135,12 @@ impl Solver {
         if let Some(&a) = self.cache.get(f) {
             self.stats.cache_hits += 1;
             exo_obs::counter_add("smt.cache_hits", 1);
+            exo_obs::attr::counter_add_by_op("smt.cache_hits", 1);
             return a;
         }
         exo_obs::record_hist("smt.formula_size", f.size() as u64);
+        let mut span = exo_obs::Span::enter("smt.decide");
+        span.field("size", exo_obs::Json::uint(f.size() as u64));
         let start = Instant::now();
         let answer = match self.decide(f) {
             Ok(true) => Answer::Yes,
@@ -143,6 +150,18 @@ impl Solver {
         let us = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
         self.stats.time_us = self.stats.time_us.saturating_add(us);
         exo_obs::record_hist("smt.query_us", us);
+        span.field(
+            "answer",
+            exo_obs::Json::Str(
+                match answer {
+                    Answer::Yes => "yes",
+                    Answer::No => "no",
+                    Answer::Unknown => "unknown",
+                }
+                .into(),
+            ),
+        );
+        drop(span);
         match answer {
             Answer::Yes => {
                 self.stats.yes += 1;
